@@ -1,0 +1,201 @@
+package aiac_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aiac"
+)
+
+// TestPublicAPIQuickstart exercises the whole public surface the way a
+// downstream user would: build a problem, pick a platform, solve with every
+// mode, balance, validate, trace.
+func TestPublicAPIQuickstart(t *testing.T) {
+	params := aiac.BrusselatorParams(16, 0.05)
+	params.T = 1
+	prob := aiac.NewBrusselator(params)
+
+	ref, _, err := aiac.BrusselatorReference(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []aiac.Mode{aiac.SISC, aiac.SIAC, aiac.AIACGeneral, aiac.AIAC} {
+		cfg := aiac.Config{
+			Mode: mode, P: 4, Problem: prob,
+			Cluster: aiac.Homogeneous(4),
+			Tol:     1e-7, MaxIter: 100000, Seed: 1,
+		}
+		if mode == aiac.AIAC {
+			cfg.LB = aiac.DefaultLBPolicy()
+		}
+		res, err := aiac.Solve(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge", mode)
+		}
+		worst := 0.0
+		for j := range ref {
+			for i := range ref[j] {
+				worst = math.Max(worst, math.Abs(res.State[j][i]-ref[j][i]))
+			}
+		}
+		if worst > 1e-4 {
+			t.Fatalf("%v: solution off by %g", mode, worst)
+		}
+	}
+}
+
+func TestPublicAPIPlatforms(t *testing.T) {
+	if aiac.Homogeneous(4).P() != 4 {
+		t.Fatal("Homogeneous")
+	}
+	if aiac.Heterogeneous(6, 0.3, 1).P() != 6 {
+		t.Fatal("Heterogeneous")
+	}
+	if aiac.HeteroGrid15(aiac.HeteroGridConfig{Seed: 1}).P() != 15 {
+		t.Fatal("HeteroGrid15")
+	}
+	pol := aiac.DefaultLBPolicy()
+	if !pol.Enabled || pol.Estimator != aiac.EstimatorResidual {
+		t.Fatalf("unexpected default policy: %+v", pol)
+	}
+}
+
+func TestPublicAPITrace(t *testing.T) {
+	params := aiac.BrusselatorParams(8, 0.1)
+	params.T = 0.5
+	log := &aiac.TraceLog{}
+	_, err := aiac.Solve(aiac.Config{
+		Mode: aiac.AIAC, P: 2,
+		Problem: aiac.NewBrusselator(params),
+		Cluster: aiac.Homogeneous(2),
+		Tol:     1e-6, MaxIter: 10000,
+		Trace: log, TraceIters: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := aiac.Gantt(log, aiac.GanttConfig{Width: 60, Arrows: true})
+	if !strings.Contains(out, "#") {
+		t.Fatalf("Gantt missing compute blocks:\n%s", out)
+	}
+}
+
+func TestPublicAPIRunners(t *testing.T) {
+	params := aiac.BrusselatorParams(8, 0.1)
+	params.T = 0.5
+	prob := aiac.NewBrusselator(params)
+	cfgV := aiac.Config{
+		Mode: aiac.AIAC, P: 2, Problem: prob,
+		Cluster: aiac.Homogeneous(2),
+		Tol:     1e-6, MaxIter: 10000, Seed: 1,
+		Runner: aiac.VirtualRunner(),
+	}
+	if res, err := aiac.Solve(cfgV); err != nil || !res.Converged {
+		t.Fatalf("virtual runner: %v / %+v", err, res)
+	}
+	cfgR := cfgV
+	cfgR.Runner = aiac.RealRunner(50)
+	cfgR.MaxTime = 300
+	if res, err := aiac.Solve(cfgR); err != nil || !res.Converged {
+		t.Fatalf("real runner: %v", err)
+	}
+}
+
+func TestPublicAPISequentialBaseline(t *testing.T) {
+	pp := aiac.PoissonParams{N: 16}
+	state, err := aiac.SolveSequential(aiac.NewPoisson(pp), 1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pp.N; i++ {
+		if d := math.Abs(state[i][0] - pp.Exact(i+1)); d > 1e-9 {
+			t.Fatalf("point %d off by %g", i, d)
+		}
+	}
+}
+
+// TestPublicAPISurface touches every facade constructor and helper so the
+// re-export layer stays wired to the internals.
+func TestPublicAPISurface(t *testing.T) {
+	// problems
+	if aiac.NewHeat(aiac.HeatParams(8, 0.01)).Components() != 8 {
+		t.Fatal("heat")
+	}
+	if aiac.NewPoisson(aiac.PoissonParams{N: 8}).Components() != 8 {
+		t.Fatal("poisson")
+	}
+	if aiac.NewPoisson2D(aiac.Poisson2DParams{N: 8}).Components() != 8 {
+		t.Fatal("poisson2d")
+	}
+	if aiac.NewNLDiffusion(aiac.NLDiffusionParams{N: 8, NewtonTol: 1e-10, MaxNewton: 20}).Components() != 8 {
+		t.Fatal("nldiffusion")
+	}
+	// sparse + linsys
+	sb := aiac.NewSparseBuilder(4)
+	rhs := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		sb.Set(i, i, 3)
+		if i > 0 {
+			sb.Set(i, i-1, -1)
+		}
+		rhs[i] = 1
+	}
+	ls, err := aiac.NewLinSys(aiac.LinSysParams{A: sb.Build(), B: rhs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Components() != 4 {
+		t.Fatal("linsys")
+	}
+	// windowing
+	params := aiac.BrusselatorParams(8, 0.05)
+	params.T = 0.25
+	wres, err := aiac.SolveWindows(aiac.Config{
+		Mode: aiac.AIAC, P: 2, Cluster: aiac.Homogeneous(2),
+		Tol: 1e-8, MaxIter: 100000, Seed: 1,
+	}, 2, func(w int, prev [][]float64) aiac.Problem {
+		p := params
+		if prev != nil {
+			p.Init0 = aiac.BrusselatorFinalState(prev)
+		}
+		return aiac.NewBrusselator(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wres.Converged || len(wres.StitchTrajectories(2)) != 8 {
+		t.Fatal("windowed solve")
+	}
+	// history + JSON export through the facade types
+	hist := &aiac.History{Stride: 5}
+	res, err := aiac.Solve(aiac.Config{
+		Mode: aiac.AIAC, P: 2, Problem: aiac.NewBrusselator(params),
+		Cluster: aiac.Heterogeneous(2, 0.5, 3),
+		Tol:     1e-8, MaxIter: 100000, History: hist,
+		Detection: aiac.DetectRing, Seed: 2,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("solve: %v", err)
+	}
+	var sb2 strings.Builder
+	if err := res.WriteJSON(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.FinalCounts()) != 2 {
+		t.Fatal("history")
+	}
+	// sequential fallback and estimators' names
+	if _, err := aiac.SolveSequential(aiac.NewPoisson(aiac.PoissonParams{N: 6}), 1e-10, 100000); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []aiac.LBEstimator{aiac.EstimatorResidual, aiac.EstimatorIterTime, aiac.EstimatorCount} {
+		if e.String() == "" {
+			t.Fatal("estimator name")
+		}
+	}
+}

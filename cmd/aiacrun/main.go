@@ -1,0 +1,164 @@
+// Command aiacrun executes one parallel iterative solve on a modeled
+// platform and reports timing, iteration and load-balancing statistics.
+//
+// Examples:
+//
+//	aiacrun -mode aiac -p 8 -problem brusselator -n 64 -lb
+//	aiacrun -mode sisc -p 4 -problem poisson -n 128 -tol 1e-10
+//	aiacrun -mode aiac -p 15 -cluster grid15 -lb -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aiac"
+)
+
+func main() {
+	var (
+		modeName    = flag.String("mode", "aiac", "solver mode: sisc, siac, aiac-general, aiac")
+		p           = flag.Int("p", 4, "number of worker nodes")
+		problemName = flag.String("problem", "brusselator", "problem: brusselator, heat, poisson, poisson2d, nldiffusion")
+		n           = flag.Int("n", 64, "problem grid size (cells/points)")
+		dt          = flag.Float64("dt", 0.02, "time step (evolution problems)")
+		horizon     = flag.Float64("T", 1, "time horizon (evolution problems)")
+		tol         = flag.Float64("tol", 1e-7, "local residual tolerance")
+		maxIter     = flag.Int("maxiter", 200000, "per-node iteration bound")
+		clusterName = flag.String("cluster", "homogeneous", "platform: homogeneous, heterogeneous, grid15")
+		lb          = flag.Bool("lb", false, "enable decentralized load balancing")
+		lbPeriod    = flag.Int("lb-period", 20, "iterations between balancing attempts")
+		lbEstimator = flag.String("lb-estimator", "residual", "load estimator: residual, itertime, count")
+		lbMinKeep   = flag.Int("lb-minkeep", 2, "famine guard: minimum components per node")
+		seed        = flag.Int64("seed", 1, "random seed (platform + runtime)")
+		ring        = flag.Bool("ring", false, "use decentralized ring convergence detection")
+		gs          = flag.Bool("gs", false, "use local Gauss-Seidel sweeps (default: local Jacobi)")
+		jsonOut     = flag.Bool("json", false, "print the result digest as JSON")
+		real        = flag.Bool("real", false, "run on the real goroutine runtime instead of virtual time")
+		speedup     = flag.Float64("speedup", 50, "real runtime: model seconds per wall second")
+		showTrace   = flag.Bool("trace", false, "render an execution Gantt chart (first 12 iterations)")
+	)
+	flag.Parse()
+
+	cfg := aiac.Config{
+		P:       *p,
+		Tol:     *tol,
+		MaxIter: *maxIter,
+		Seed:    *seed,
+	}
+
+	switch strings.ToLower(*modeName) {
+	case "sisc":
+		cfg.Mode = aiac.SISC
+	case "siac":
+		cfg.Mode = aiac.SIAC
+	case "aiac-general":
+		cfg.Mode = aiac.AIACGeneral
+	case "aiac":
+		cfg.Mode = aiac.AIAC
+	default:
+		fatalf("unknown mode %q", *modeName)
+	}
+
+	switch strings.ToLower(*problemName) {
+	case "brusselator":
+		params := aiac.BrusselatorParams(*n, *dt)
+		params.T = *horizon
+		cfg.Problem = aiac.NewBrusselator(params)
+	case "heat":
+		params := aiac.HeatParams(*n, *dt)
+		params.T = *horizon
+		cfg.Problem = aiac.NewHeat(params)
+	case "poisson":
+		cfg.Problem = aiac.NewPoisson(aiac.PoissonParams{N: *n})
+	case "poisson2d":
+		cfg.Problem = aiac.NewPoisson2D(aiac.Poisson2DParams{N: *n})
+	case "nldiffusion":
+		cfg.Problem = aiac.NewNLDiffusion(aiac.NLDiffusionParams{N: *n, NewtonTol: 1e-12, MaxNewton: 40})
+	default:
+		fatalf("unknown problem %q", *problemName)
+	}
+
+	switch strings.ToLower(*clusterName) {
+	case "homogeneous":
+		cfg.Cluster = aiac.Homogeneous(*p)
+	case "heterogeneous":
+		cfg.Cluster = aiac.Heterogeneous(*p, 0.25, *seed)
+	case "grid15":
+		cfg.Cluster = aiac.HeteroGrid15(aiac.HeteroGridConfig{Seed: *seed, MultiUser: true})
+		if *p > cfg.Cluster.P() {
+			fatalf("grid15 has %d nodes, requested %d", cfg.Cluster.P(), *p)
+		}
+	default:
+		fatalf("unknown cluster %q", *clusterName)
+	}
+
+	if *lb {
+		pol := aiac.DefaultLBPolicy()
+		pol.Period = *lbPeriod
+		pol.MinKeep = *lbMinKeep
+		switch strings.ToLower(*lbEstimator) {
+		case "residual":
+			pol.Estimator = aiac.EstimatorResidual
+		case "itertime":
+			pol.Estimator = aiac.EstimatorIterTime
+		case "count":
+			pol.Estimator = aiac.EstimatorCount
+		default:
+			fatalf("unknown estimator %q", *lbEstimator)
+		}
+		cfg.LB = pol
+	}
+
+	if *ring {
+		cfg.Detection = aiac.DetectRing
+	}
+	cfg.GaussSeidelLocal = *gs
+	if *real {
+		cfg.Runner = aiac.RealRunner(*speedup)
+		cfg.MaxTime = 1e6
+	}
+
+	var log *aiac.TraceLog
+	if *showTrace {
+		log = &aiac.TraceLog{}
+		cfg.Trace = log
+		cfg.TraceIters = 12
+	}
+
+	res, err := aiac.Solve(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	fmt.Printf("mode %s on %s (%d nodes), problem %s n=%d\n",
+		cfg.Mode, *clusterName, *p, *problemName, *n)
+	fmt.Printf("  execution time   %.4f s (virtual)\n", res.Time)
+	fmt.Printf("  converged        %v (max residual %.3g)\n", res.Converged, res.MaxResidual)
+	fmt.Printf("  node iterations  %v\n", res.NodeIters)
+	fmt.Printf("  total work       %.3g units\n", res.TotalWork)
+	fmt.Printf("  boundary msgs    %d (suppressed %d)\n", res.BoundaryMsgs, res.SuppressedSnd)
+	if *lb {
+		fmt.Printf("  lb transfers     %d accepted, %d rejected, %d components moved\n",
+			res.LBTransfers, res.LBRejects, res.LBCompsMoved)
+		fmt.Printf("  final counts     %v\n", res.FinalCount)
+	}
+	if log != nil {
+		fmt.Println()
+		fmt.Print(aiac.Gantt(log, aiac.GanttConfig{Width: 110, Arrows: true}))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aiacrun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command paperexp regenerates the paper's tables and figures plus the
+// ablation studies derived from its §6 discussion, printing each artifact
+// with its qualitative shape check (paper claim vs measured).
+//
+// Examples:
+//
+//	paperexp                 # everything at full scale (minutes)
+//	paperexp -scale quick    # everything at smoke-test scale (seconds)
+//	paperexp -exp fig5       # one experiment
+//	paperexp -o results/     # also write one text file per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aiac/internal/experiments"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment id: all, fig1-4, fig5, table1, x1...x6")
+		scaleN  = flag.String("scale", "full", "scale: quick, full")
+		outDir  = flag.String("o", "", "directory to write per-experiment text files")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleN) {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fatalf("unknown scale %q", *scaleN)
+	}
+
+	var reports []experiments.Report
+	switch strings.ToLower(*expName) {
+	case "all":
+		reports = experiments.All(scale)
+	case "fig1", "fig2", "fig3", "fig4", "figs", "flow":
+		reports = experiments.FlowFigures(scale)
+	case "fig5":
+		reports = []experiments.Report{experiments.Fig5(scale)}
+	case "table1":
+		reports = []experiments.Report{experiments.Table1(scale)}
+	case "x1", "modes":
+		reports = []experiments.Report{experiments.ModeMatrix(scale)}
+	case "x2", "frequency":
+		reports = []experiments.Report{experiments.LBFrequency(scale)}
+	case "x3", "accuracy":
+		reports = []experiments.Report{experiments.LBAccuracy(scale)}
+	case "x4", "estimator":
+		reports = []experiments.Report{experiments.LBEstimator(scale)}
+	case "x5", "famine":
+		reports = []experiments.Report{experiments.FamineGuard(scale)}
+	case "x6", "families":
+		reports = []experiments.Report{experiments.LBFamilies()}
+	case "x7", "fullhorizon":
+		reports = []experiments.Report{experiments.FullHorizon(scale)}
+	case "x8", "mapping":
+		reports = []experiments.Report{experiments.Mapping(scale)}
+	case "diag", "diagnostics":
+		reports = []experiments.Report{experiments.Diagnostics(scale)}
+	default:
+		fatalf("unknown experiment %q", *expName)
+	}
+
+	ok, total := 0, 0
+	for _, r := range reports {
+		fmt.Println(r.String())
+		total++
+		if r.Pass {
+			ok++
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatalf("%v", err)
+			}
+			path := filepath.Join(*outDir, r.ID+".txt")
+			if err := os.WriteFile(path, []byte(r.String()), 0o644); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+	fmt.Printf("shape checks: %d/%d OK\n", ok, total)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paperexp: "+format+"\n", args...)
+	os.Exit(1)
+}

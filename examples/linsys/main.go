@@ -1,0 +1,67 @@
+// Linsys solves an arbitrary banded, diagonally dominant sparse linear
+// system A·x = b with the asynchronous solver — the paper's generic claim
+// (§5: the AIAC scheme applies to "either linear or non-linear systems
+// which can be stationary or not") made concrete: any such system becomes
+// an engine Problem with halo = matrix bandwidth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"aiac"
+)
+
+func main() {
+	const n = 200
+	rng := rand.New(rand.NewSource(42))
+
+	// a random pentadiagonal, strictly diagonally dominant system
+	b := aiac.NewSparseBuilder(n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for d := 1; d <= 2; d++ {
+			if i-d >= 0 {
+				v := rng.NormFloat64()
+				b.Set(i, i-d, v)
+				off += math.Abs(v)
+			}
+			if i+d < n {
+				v := rng.NormFloat64()
+				b.Set(i, i+d, v)
+				off += math.Abs(v)
+			}
+		}
+		b.Set(i, i, off+1+rng.Float64()) // strictly dominant
+		rhs[i] = rng.NormFloat64()
+	}
+
+	prob, err := aiac.NewLinSys(aiac.LinSysParams{A: b.Build(), B: rhs})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := aiac.Solve(aiac.Config{
+		Mode:    aiac.AIAC,
+		P:       8,
+		Problem: prob,
+		Cluster: aiac.Heterogeneous(8, 0.4, 9),
+		Tol:     1e-12,
+		MaxIter: 1000000,
+		LB:      aiac.DefaultLBPolicy(),
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("asynchronous Jacobi on a %d-unknown pentadiagonal system\n", n)
+	fmt.Printf("converged: %v in %.3f virtual seconds (%d total iterations)\n",
+		res.Converged, res.Time, res.TotalIters)
+	fmt.Printf("final residual ‖b−Ax‖∞ = %.3g\n", prob.ResidualNorm(res.State))
+	fmt.Printf("components migrated by the balancer: %d (final split %v)\n",
+		res.LBCompsMoved, res.FinalCount)
+}

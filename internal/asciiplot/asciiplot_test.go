@@ -1,0 +1,96 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinearPlot(t *testing.T) {
+	out := Plot(Config{Width: 40, Height: 10, Title: "test"},
+		Series{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+	)
+	if !strings.Contains(out, "test") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("missing markers:\n%s", out)
+	}
+	if !strings.Contains(out, "up") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+}
+
+func TestLogLogPlot(t *testing.T) {
+	// a power law must render as markers spanning the full plot in log-log
+	xs := []float64{1, 10, 100}
+	ys := []float64{1000, 100, 10}
+	out := Plot(Config{Width: 30, Height: 8, LogX: true, LogY: true, XLabel: "procs", YLabel: "time"},
+		Series{Name: "t", X: xs, Y: ys},
+	)
+	if !strings.Contains(out, "[log x]") || !strings.Contains(out, "[log y]") {
+		t.Fatalf("missing log annotations:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// first data row (top) should contain the marker near the left and
+	// the bottom data row near the right
+	var top, bottom string
+	for _, l := range lines {
+		if strings.Contains(l, "└") {
+			break // past the plot area; ignore the legend's markers
+		}
+		if strings.Contains(l, "*") {
+			if top == "" {
+				top = l
+			}
+			bottom = l
+		}
+	}
+	if top == "" {
+		t.Fatalf("no markers:\n%s", out)
+	}
+	if strings.Index(top, "*") > strings.Index(bottom, "*") {
+		t.Fatalf("downward power law should go top-left to bottom-right:\n%s", out)
+	}
+}
+
+func TestMultipleSeriesMarkers(t *testing.T) {
+	out := Plot(Config{Width: 20, Height: 6},
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct markers expected:\n%s", out)
+	}
+}
+
+func TestEmptyPlot(t *testing.T) {
+	if out := Plot(Config{}); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+}
+
+func TestLogAxisRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Plot(Config{LogY: true}, Series{Name: "bad", X: []float64{1}, Y: []float64{0}})
+}
+
+func TestMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Plot(Config{}, Series{Name: "bad", X: []float64{1, 2}, Y: []float64{1}})
+}
+
+func TestConstantSeries(t *testing.T) {
+	out := Plot(Config{Width: 10, Height: 4},
+		Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series should still render:\n%s", out)
+	}
+}

@@ -1,0 +1,261 @@
+package detect
+
+import (
+	"testing"
+
+	"aiac/internal/runenv"
+	"aiac/internal/vtime"
+)
+
+// runWorld wires p worker bodies plus the detector as rank p.
+func runWorld(t *testing.T, p int, cfg Config, worker func(env runenv.Env, rank int)) Outcome {
+	t.Helper()
+	var out Outcome
+	bodies := make([]runenv.Body, p+1)
+	for i := 0; i < p; i++ {
+		rank := i
+		bodies[i] = func(env runenv.Env) { worker(env, rank) }
+	}
+	bodies[p] = func(env runenv.Env) { out = Run(env, cfg) }
+	sch := vtime.New(runenv.Config{
+		Delay: func(_, _, _ int, _ float64) float64 { return 1e-4 },
+	})
+	sch.Run(bodies)
+	return out
+}
+
+// iterativeWorker mimics an engine node: it "computes" for workT per
+// iteration, reports convergence per the given schedule (converged from
+// iteration convAt on), and processes detector messages between iterations.
+func iterativeWorker(env runenv.Env, det int, convAt int, workT float64) (halted, aborted bool) {
+	c := &Client{DetectorID: det, Streak: 2}
+	for iter := 0; ; iter++ {
+		for {
+			m, ok := env.Recv()
+			if !ok {
+				break
+			}
+			c.HandleMsg(env, m)
+		}
+		if c.Halted() {
+			return true, c.Aborted()
+		}
+		env.Sleep(workT)
+		c.AfterIteration(env, iter >= convAt)
+		if iter > 10000 {
+			return false, false
+		}
+	}
+}
+
+func TestAsyncDetectorHalts(t *testing.T) {
+	const p = 4
+	halted := make([]bool, p)
+	out := runWorld(t, p, Config{P: p}, func(env runenv.Env, rank int) {
+		h, _ := iterativeWorker(env, p, 5+rank*7, 0.01*float64(rank+1))
+		halted[rank] = h
+	})
+	if !out.Halted || out.Aborted {
+		t.Fatalf("detector outcome: %+v", out)
+	}
+	if out.Rounds < 2 {
+		t.Fatalf("double verification expected, rounds = %d", out.Rounds)
+	}
+	for i, h := range halted {
+		if !h {
+			t.Fatalf("node %d never received HALT", i)
+		}
+	}
+}
+
+func TestAsyncDetectorSingleVerify(t *testing.T) {
+	const p = 2
+	out := runWorld(t, p, Config{P: p, SingleVerify: true}, func(env runenv.Env, rank int) {
+		iterativeWorker(env, p, 3, 0.01)
+	})
+	if !out.Halted {
+		t.Fatal("did not halt")
+	}
+	if out.Rounds != 1 {
+		t.Fatalf("single verify should need exactly 1 round, got %d", out.Rounds)
+	}
+}
+
+func TestAsyncDetectorRelapse(t *testing.T) {
+	// node 0 converges, relapses for a while, then converges for good;
+	// the detector must not halt during the relapse window.
+	const p = 2
+	var haltIter [p]int
+	out := runWorld(t, p, Config{P: p}, func(env runenv.Env, rank int) {
+		c := &Client{DetectorID: p, Streak: 2}
+		conv := func(iter int) bool {
+			if rank != 0 {
+				return iter >= 2
+			}
+			// a short converged blip (long enough to report with
+			// streak 2, too short to survive the verification
+			// round-trip), then a long relapse, then stable.
+			return iter == 5 || iter == 6 || iter >= 31
+		}
+		for iter := 0; ; iter++ {
+			for {
+				m, ok := env.Recv()
+				if !ok {
+					break
+				}
+				c.HandleMsg(env, m)
+			}
+			if c.Halted() {
+				haltIter[rank] = iter
+				return
+			}
+			env.Sleep(0.01)
+			c.AfterIteration(env, conv(iter))
+			if iter > 10000 {
+				t.Error("never halted")
+				return
+			}
+		}
+	})
+	if !out.Halted {
+		t.Fatal("did not halt")
+	}
+	// node 0 becomes stably converged at iteration 31+streak; halting
+	// before that would be premature.
+	if haltIter[0] < 31 {
+		t.Fatalf("premature halt at iteration %d of node 0", haltIter[0])
+	}
+}
+
+func TestAsyncDetectorAbort(t *testing.T) {
+	const p = 3
+	aborted := make([]bool, p)
+	out := runWorld(t, p, Config{P: p}, func(env runenv.Env, rank int) {
+		c := &Client{DetectorID: p, Streak: 1}
+		if rank == 1 {
+			env.Sleep(0.05)
+			c.Abort(env)
+		}
+		for iter := 0; ; iter++ {
+			for {
+				m, ok := env.Recv()
+				if !ok {
+					break
+				}
+				c.HandleMsg(env, m)
+			}
+			if c.Halted() {
+				aborted[rank] = c.Aborted()
+				return
+			}
+			env.Sleep(0.01)
+			c.AfterIteration(env, false)
+			if iter > 10000 {
+				t.Error("never halted")
+				return
+			}
+		}
+	})
+	if !out.Halted || !out.Aborted {
+		t.Fatalf("outcome: %+v", out)
+	}
+	for i, a := range aborted {
+		if !a {
+			t.Fatalf("node %d did not see the abort", i)
+		}
+	}
+}
+
+func TestBarrierCoordinator(t *testing.T) {
+	const p = 3
+	iters := make([]int, p)
+	out := runWorld(t, p, Config{P: p, Barrier: true}, func(env runenv.Env, rank int) {
+		for iter := 0; ; iter++ {
+			env.Sleep(0.01 * float64(rank+1)) // nodes of different speeds
+			env.Send(p, KindBarrierArrive, ArriveMsg{Iter: iter, Conv: iter >= 9}, 32)
+			for {
+				m, ok := env.RecvWait()
+				if !ok {
+					return
+				}
+				if m.Kind == KindBarrierGo {
+					g := m.Payload.(GoMsg)
+					if g.Iter != iter {
+						t.Errorf("barrier iteration mismatch: %d vs %d", g.Iter, iter)
+					}
+					if g.Halt {
+						iters[rank] = iter
+						return
+					}
+					break
+				}
+			}
+		}
+	})
+	if !out.Halted || out.Aborted {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if out.Rounds != 10 {
+		t.Fatalf("rounds = %d, want 10 (halt exactly when all converge)", out.Rounds)
+	}
+	for i, it := range iters {
+		if it != 9 {
+			t.Fatalf("node %d halted at iteration %d, want 9 (lockstep)", i, it)
+		}
+	}
+}
+
+func TestBarrierAbort(t *testing.T) {
+	const p = 2
+	out := runWorld(t, p, Config{P: p, Barrier: true}, func(env runenv.Env, rank int) {
+		for iter := 0; ; iter++ {
+			env.Sleep(0.01)
+			env.Send(p, KindBarrierArrive, ArriveMsg{Iter: iter, Abort: iter >= 3 && rank == 0}, 32)
+			for {
+				m, ok := env.RecvWait()
+				if !ok {
+					return
+				}
+				if m.Kind == KindBarrierGo {
+					if m.Payload.(GoMsg).Halt {
+						return
+					}
+					break
+				}
+			}
+		}
+	})
+	if !out.Halted || !out.Aborted {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestClientStreak(t *testing.T) {
+	// without enough streak the client must not report convergence
+	sch := vtime.New(runenv.Config{})
+	var stateMsgs []StateMsg
+	sch.Run([]runenv.Body{
+		func(env runenv.Env) {
+			c := &Client{DetectorID: 1, Streak: 3}
+			seq := []bool{true, true, false, true, true, true, true, false, true}
+			for _, conv := range seq {
+				env.Sleep(0.01)
+				c.AfterIteration(env, conv)
+			}
+		},
+		func(env runenv.Env) {
+			for {
+				m, ok := env.RecvWait()
+				if !ok {
+					return
+				}
+				stateMsgs = append(stateMsgs, m.Payload.(StateMsg))
+			}
+		},
+	})
+	// streak 3 reached at index 5 (true), broken at 7 (false):
+	// expected reports: conv=true, conv=false
+	if len(stateMsgs) != 2 || !stateMsgs[0].Conv || stateMsgs[1].Conv {
+		t.Fatalf("state reports = %+v", stateMsgs)
+	}
+}

@@ -1,0 +1,170 @@
+package detect
+
+import (
+	"testing"
+
+	"aiac/internal/runenv"
+	"aiac/internal/vtime"
+)
+
+// ringWorker mimics an engine node using the decentralized protocol.
+func ringWorker(env runenv.Env, rank, p int, conv func(iter int) bool) (halted, aborted bool, haltIter int) {
+	c := &RingClient{Rank: rank, P: p, Streak: 2}
+	for iter := 0; ; iter++ {
+		for {
+			m, ok := env.Recv()
+			if !ok {
+				break
+			}
+			c.HandleMsg(env, m)
+		}
+		if c.Halted() {
+			return true, c.Aborted(), iter
+		}
+		env.Sleep(0.01)
+		c.AfterIteration(env, conv(iter))
+		if iter > 20000 {
+			return false, false, iter
+		}
+	}
+}
+
+func runRing(t *testing.T, p int, conv func(rank, iter int) bool) (halted []bool, aborted []bool, iters []int) {
+	t.Helper()
+	halted = make([]bool, p)
+	aborted = make([]bool, p)
+	iters = make([]int, p)
+	bodies := make([]runenv.Body, p)
+	for i := 0; i < p; i++ {
+		rank := i
+		bodies[i] = func(env runenv.Env) {
+			h, a, it := ringWorker(env, rank, p, func(iter int) bool { return conv(rank, iter) })
+			halted[rank], aborted[rank], iters[rank] = h, a, it
+		}
+	}
+	sch := vtime.New(runenv.Config{
+		Delay: func(_, _, _ int, _ float64) float64 { return 1e-4 },
+	})
+	sch.Run(bodies)
+	return halted, aborted, iters
+}
+
+func TestRingHaltsWhenAllConverge(t *testing.T) {
+	halted, aborted, _ := runRing(t, 5, func(rank, iter int) bool {
+		return iter >= 4+rank*3
+	})
+	for r := range halted {
+		if !halted[r] || aborted[r] {
+			t.Fatalf("node %d: halted=%v aborted=%v", r, halted[r], aborted[r])
+		}
+	}
+}
+
+func TestRingNoPrematureHaltOnRelapse(t *testing.T) {
+	// node 2 blips converged, relapses, then settles at iteration 40
+	halted, _, iters := runRing(t, 4, func(rank, iter int) bool {
+		if rank != 2 {
+			return iter >= 3
+		}
+		return iter == 6 || iter == 7 || iter >= 40
+	})
+	for r := range halted {
+		if !halted[r] {
+			t.Fatalf("node %d never halted", r)
+		}
+	}
+	if iters[2] < 40 {
+		t.Fatalf("premature halt: node 2 halted at iteration %d", iters[2])
+	}
+}
+
+func TestRingAbortPropagates(t *testing.T) {
+	const p = 4
+	halted := make([]bool, p)
+	aborted := make([]bool, p)
+	bodies := make([]runenv.Body, p)
+	for i := 0; i < p; i++ {
+		rank := i
+		bodies[i] = func(env runenv.Env) {
+			c := &RingClient{Rank: rank, P: p, Streak: 2}
+			for iter := 0; ; iter++ {
+				for {
+					m, ok := env.Recv()
+					if !ok {
+						break
+					}
+					c.HandleMsg(env, m)
+				}
+				if c.Halted() {
+					halted[rank], aborted[rank] = true, c.Aborted()
+					return
+				}
+				env.Sleep(0.01)
+				c.AfterIteration(env, false) // nobody ever converges
+				if rank == 3 && iter == 25 {
+					c.Abort(env)
+				}
+				if iter > 10000 {
+					return
+				}
+			}
+		}
+	}
+	sch := vtime.New(runenv.Config{
+		Delay: func(_, _, _ int, _ float64) float64 { return 1e-4 },
+	})
+	sch.Run(bodies)
+	for r := 0; r < p; r++ {
+		if !halted[r] || !aborted[r] {
+			t.Fatalf("node %d: halted=%v aborted=%v", r, halted[r], aborted[r])
+		}
+	}
+}
+
+func TestRingSingleNode(t *testing.T) {
+	halted, aborted, _ := runRing(t, 1, func(rank, iter int) bool { return iter >= 5 })
+	if !halted[0] || aborted[0] {
+		t.Fatalf("single node: halted=%v aborted=%v", halted[0], aborted[0])
+	}
+}
+
+func TestRingDoubleRound(t *testing.T) {
+	// count the tokens node 1 forwards: at least two clean rounds must
+	// pass before the halt arrives.
+	const p = 3
+	tokens := 0
+	bodies := make([]runenv.Body, p)
+	for i := 0; i < p; i++ {
+		rank := i
+		bodies[i] = func(env runenv.Env) {
+			c := &RingClient{Rank: rank, P: p, Streak: 1}
+			for iter := 0; ; iter++ {
+				for {
+					m, ok := env.Recv()
+					if !ok {
+						break
+					}
+					if rank == 1 && m.Kind == KindToken {
+						tokens++
+					}
+					c.HandleMsg(env, m)
+				}
+				if c.Halted() {
+					return
+				}
+				env.Sleep(0.01)
+				c.AfterIteration(env, true)
+				if iter > 10000 {
+					return
+				}
+			}
+		}
+	}
+	sch := vtime.New(runenv.Config{
+		Delay: func(_, _, _ int, _ float64) float64 { return 1e-4 },
+	})
+	sch.Run(bodies)
+	if tokens < 2 {
+		t.Fatalf("expected at least 2 token rounds before halt, saw %d", tokens)
+	}
+}

@@ -1,0 +1,441 @@
+// Package engine implements the parallel iterative solvers of the paper:
+// the three classes of §1.2 — SISC (synchronous iterations, synchronous
+// communications), SIAC (synchronous iterations, asynchronous
+// communications) and AIAC (asynchronous iterations, asynchronous
+// communications, in both the general Figure-3 form and the
+// mutual-exclusion Figure-4 variant) — plus the decentralized dynamic load
+// balancing of Algorithms 4-7 coupled to the AIAC solver.
+//
+// One grid node is one runenv process; a convergence detector (or, for
+// SISC, a barrier coordinator) runs as one extra process. Nodes own a
+// contiguous range of problem components organized in a logical linear
+// chain, exchange halo trajectories with their chain neighbors, and — when
+// balancing is enabled — ship components to their lightest-loaded neighbor
+// per the Bertsekas–Tsitsiklis policy with the residual load estimator.
+//
+// The engine runs unchanged on the deterministic virtual-time runtime
+// (experiments, benchmarks) and the real goroutine runtime (live runs).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aiac/internal/detect"
+	"aiac/internal/grid"
+	"aiac/internal/iterative"
+	"aiac/internal/loadbalance"
+	"aiac/internal/runenv"
+	"aiac/internal/trace"
+	"aiac/internal/vtime"
+)
+
+// Mode selects the parallel iterative algorithm class.
+type Mode int
+
+const (
+	// SISC: synchronous iterations, synchronous communications — halo
+	// exchange plus a global barrier at every iteration (Figure 1).
+	SISC Mode = iota
+	// SIAC: synchronous iterations, asynchronous communications — the
+	// first halo is sent as soon as it is updated, the second at the end
+	// of the iteration; nodes still wait for both neighbors' data from
+	// the previous iteration (Figure 2).
+	SIAC
+	// AIACGeneral: asynchronous iterations and communications, sending
+	// both halves every iteration without send suppression (Figure 3).
+	AIACGeneral
+	// AIAC: the paper's variant — asynchronous iterations with a mutual
+	// exclusion on sends: a new send in a direction is skipped while the
+	// previous one is still in flight (Figure 4, Algorithm 1); this is
+	// the variant the load balancing couples to (Algorithm 4).
+	AIAC
+)
+
+// String returns the mode's name as used in the paper.
+func (m Mode) String() string {
+	switch m {
+	case SISC:
+		return "SISC"
+	case SIAC:
+		return "SIAC"
+	case AIACGeneral:
+		return "AIAC-general"
+	case AIAC:
+		return "AIAC"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Synchronous reports whether the mode performs synchronous iterations.
+func (m Mode) Synchronous() bool { return m == SISC || m == SIAC }
+
+// Detection selects the global convergence-detection protocol.
+type Detection int
+
+const (
+	// DetectCentral uses the asynchronous two-phase verification detector
+	// (one extra coordinator process, co-located with node 0).
+	DetectCentral Detection = iota
+	// DetectRing uses the decentralized Safra-style token protocol: no
+	// coordinator at all, matching the paper's preference for fully
+	// decentralized control. AIAC/SIAC modes only.
+	DetectRing
+)
+
+// String returns the protocol's name.
+func (d Detection) String() string {
+	switch d {
+	case DetectCentral:
+		return "central"
+	case DetectRing:
+		return "ring"
+	default:
+		return fmt.Sprintf("detection(%d)", int(d))
+	}
+}
+
+// Config describes one solver execution.
+type Config struct {
+	Mode    Mode
+	P       int                // number of worker nodes
+	Problem iterative.Problem  // the problem instance (must be safe for concurrent Update calls)
+	Cluster *grid.Cluster      // execution platform (>= P nodes)
+	Tol     float64            // local residual threshold
+	MaxIter int                // per-node iteration safety bound
+	MaxTime float64            // virtual-time safety bound (0 = none)
+	LB      loadbalance.Policy // load balancing (AIAC modes only)
+
+	// Detection selects the convergence-detection protocol (SISC always
+	// uses its barrier coordinator regardless).
+	Detection Detection
+	// GaussSeidelLocal makes sweeps use the freshest already-updated
+	// values of the node's own components (local Gauss-Seidel) instead of
+	// the previous iterate (local Jacobi, the paper's Algorithm 1, the
+	// default). §1.1 discusses the trade-off: Gauss-Seidel converges in
+	// fewer sweeps but is inherently sequential — locally that
+	// sequentiality is free, so this is a pure win knob.
+	GaussSeidelLocal bool
+	// ConvStreak is how many consecutive converged iterations a node
+	// needs before reporting convergence (default 2; SISC ignores it).
+	ConvStreak int
+	// SingleVerify disables the detector's second verification round.
+	SingleVerify bool
+	// LBWarmup is how many iterations to wait before the first balancing
+	// attempt (default: LB.Period).
+	LBWarmup int
+
+	// WorkScale converts problem work units into platform work units
+	// (default 1). CompOverhead is charged per component update and
+	// IterOverhead once per iteration, modeling loop and messaging
+	// overheads (defaults 2 and 100).
+	WorkScale    float64
+	CompOverhead float64
+	IterOverhead float64
+
+	// Mapping assigns chain ranks to cluster nodes: rank i runs on
+	// cluster node Mapping[i]. Nil means the identity. The paper chose an
+	// "irregular" logical organization on its grid (§6) — mappings make
+	// that an explicit, experimentable knob.
+	Mapping []int
+
+	Seed  int64
+	Trace *trace.Log // optional event collection
+	// History, when non-nil, collects per-node per-iteration time series
+	// (residual decay, component migration, cumulative work).
+	History *History
+	// TraceIters caps per-iteration trace events (0 = unlimited).
+	TraceIters int
+
+	// Runner selects the runtime; nil means the deterministic
+	// virtual-time runtime.
+	Runner runenv.Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConvStreak == 0 {
+		c.ConvStreak = 2
+	}
+	if c.WorkScale == 0 {
+		c.WorkScale = 1
+	}
+	if c.CompOverhead == 0 {
+		c.CompOverhead = 2
+	}
+	if c.IterOverhead == 0 {
+		c.IterOverhead = 100
+	}
+	if c.LBWarmup == 0 {
+		c.LBWarmup = c.LB.Period
+	}
+	if c.Runner == nil {
+		c.Runner = vtime.Runner{}
+	}
+	return c
+}
+
+// Validate checks configuration consistency.
+func (c Config) Validate() error {
+	if c.Problem == nil {
+		return errors.New("engine: Problem is required")
+	}
+	if c.Cluster == nil {
+		return errors.New("engine: Cluster is required")
+	}
+	if c.P < 1 {
+		return fmt.Errorf("engine: P = %d, need >= 1", c.P)
+	}
+	if c.Cluster.P() < c.P {
+		return fmt.Errorf("engine: cluster has %d nodes, need %d", c.Cluster.P(), c.P)
+	}
+	if c.Tol <= 0 {
+		return fmt.Errorf("engine: Tol = %g, need > 0", c.Tol)
+	}
+	if c.MaxIter < 1 {
+		return fmt.Errorf("engine: MaxIter = %d, need >= 1", c.MaxIter)
+	}
+	m, h := c.Problem.Components(), c.Problem.Halo()
+	if h < 1 {
+		return fmt.Errorf("engine: problems with halo %d are not supported (need >= 1)", h)
+	}
+	if m/c.P < h {
+		return fmt.Errorf("engine: %d components over %d nodes gives < halo (%d) per node", m, c.P, h)
+	}
+	if c.Mapping != nil {
+		if len(c.Mapping) < c.P {
+			return fmt.Errorf("engine: Mapping has %d entries, need %d", len(c.Mapping), c.P)
+		}
+		seen := make(map[int]bool, c.P)
+		for i := 0; i < c.P; i++ {
+			node := c.Mapping[i]
+			if node < 0 || node >= c.Cluster.P() {
+				return fmt.Errorf("engine: Mapping[%d] = %d out of cluster range", i, node)
+			}
+			if seen[node] {
+				return fmt.Errorf("engine: Mapping assigns cluster node %d twice", node)
+			}
+			seen[node] = true
+		}
+	}
+	if c.Detection == DetectRing && c.Mode == SISC {
+		return errors.New("engine: ring detection does not apply to SISC (it has its own barrier coordinator)")
+	}
+	if err := c.LB.Validate(); err != nil {
+		return err
+	}
+	if c.LB.Enabled {
+		if c.Mode != AIAC && c.Mode != AIACGeneral {
+			return fmt.Errorf("engine: load balancing requires an AIAC mode, got %s", c.Mode)
+		}
+		if c.LB.MinKeep < h {
+			return fmt.Errorf("engine: LB.MinKeep = %d must be >= halo %d", c.LB.MinKeep, h)
+		}
+		if m/c.P < c.LB.MinKeep {
+			return fmt.Errorf("engine: initial distribution (%d comps) below LB.MinKeep %d", m/c.P, c.LB.MinKeep)
+		}
+	}
+	return nil
+}
+
+// Result is a completed solver execution.
+type Result struct {
+	// Time is the end-to-end execution time in (virtual) seconds.
+	Time float64
+	// Converged is true when the run halted through convergence
+	// detection (not through MaxIter abort or MaxTime stop).
+	Converged bool
+	// TimedOut is true when the MaxTime safety bound stopped the world.
+	TimedOut bool
+
+	// State[j] is the final trajectory of global component j.
+	State [][]float64
+
+	// Per-node data, indexed by rank.
+	NodeIters  []int
+	NodeWork   []float64
+	NodeResid  []float64
+	FinalCount []int // components owned at halt
+
+	// Aggregates.
+	TotalIters  int
+	TotalWork   float64
+	MaxResidual float64
+
+	// Load balancing statistics.
+	LBTransfers  int // accepted transfers
+	LBRejects    int
+	LBCompsMoved int
+
+	// Messaging statistics.
+	BoundaryMsgs  int
+	SuppressedSnd int // sends skipped by the mutual exclusion (Figure 4)
+}
+
+// Run executes the configured solver and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	p := cfg.P
+	if cfg.History != nil {
+		cfg.History.init(p)
+	}
+	outcomes := make([]*nodeOutcome, p)
+	bodies := make([]runenv.Body, p+1)
+	for i := 0; i < p; i++ {
+		rank := i
+		bodies[i] = func(env runenv.Env) {
+			n := newNode(env, &cfg, rank)
+			outcomes[rank] = n.run()
+		}
+	}
+	// The decentralized ring protocol needs no coordinator process for
+	// AIAC/SIAC, but the process slot stays (inert) so rank numbering and
+	// the SISC barrier path are uniform.
+	useCentral := cfg.Mode == SISC || cfg.Detection != DetectRing
+	var detOut detect.Outcome
+	bodies[p] = func(env runenv.Env) {
+		if !useCentral {
+			return
+		}
+		detOut = detect.Run(env, detect.Config{
+			P:            p,
+			Barrier:      cfg.Mode == SISC,
+			SingleVerify: cfg.SingleVerify,
+		})
+	}
+
+	sched := newWorld(cfg)
+	end := sched.run(bodies)
+
+	converged := detOut.Halted && !detOut.Aborted
+	if !useCentral {
+		converged = true
+		for _, o := range outcomes {
+			if o == nil || !o.haltedOK {
+				converged = false
+			}
+		}
+	}
+	res := &Result{
+		Time:       end,
+		Converged:  converged,
+		TimedOut:   sched.timedOut(),
+		NodeIters:  make([]int, p),
+		NodeWork:   make([]float64, p),
+		NodeResid:  make([]float64, p),
+		FinalCount: make([]int, p),
+		State:      make([][]float64, cfg.Problem.Components()),
+	}
+	for r, o := range outcomes {
+		if o == nil {
+			return nil, fmt.Errorf("engine: node %d produced no outcome", r)
+		}
+		res.NodeIters[r] = o.iters
+		res.NodeWork[r] = o.work
+		res.NodeResid[r] = o.residual
+		res.TotalIters += o.iters
+		res.TotalWork += o.work
+		if o.residual > res.MaxResidual {
+			res.MaxResidual = o.residual
+		}
+		res.LBTransfers += o.lbRecv
+		res.LBRejects += o.lbRejected
+		res.LBCompsMoved += o.compsMoved
+		res.BoundaryMsgs += o.msgsBoundary
+		res.SuppressedSnd += o.suppressed
+	}
+	// Gather the state in two passes: regular copies first, then the
+	// provisional (halt-time restored) copies to fill any position the
+	// receiver side never integrated. FinalCount credits each position to
+	// the rank whose copy was used, so it always sums to the component
+	// count even when a transfer was unresolved at halt.
+	for pass := 0; pass < 2; pass++ {
+		for r, o := range outcomes {
+			for i, pos := range o.positions {
+				if o.provisional[i] != (pass == 1) {
+					continue
+				}
+				if res.State[pos] == nil {
+					res.State[pos] = o.trajs[i]
+					res.FinalCount[r]++
+				}
+			}
+		}
+	}
+	for j, tr := range res.State {
+		if tr == nil {
+			return res, fmt.Errorf("engine: component %d missing from the gathered state", j)
+		}
+	}
+	return res, nil
+}
+
+// world wraps the runner so Run can ask about timeouts on the
+// deterministic runtime.
+type world struct {
+	cfg   Config
+	vtsch *vtime.Scheduler
+}
+
+func newWorld(cfg Config) *world { return &world{cfg: cfg} }
+
+func (w *world) run(bodies []runenv.Body) float64 {
+	mapRank := func(i int) int {
+		if i >= w.cfg.P { // the detector is co-located with rank 0
+			i = 0
+		}
+		if w.cfg.Mapping != nil {
+			return w.cfg.Mapping[i]
+		}
+		return i
+	}
+	ser := grid.NewSerializer(w.cfg.Cluster)
+	rcfg := runenv.Config{
+		Procs:   len(bodies),
+		Seed:    w.cfg.Seed,
+		Trace:   w.cfg.Trace,
+		MaxTime: w.cfg.MaxTime,
+		ComputeTime: func(node int, start, units float64) float64 {
+			return w.cfg.Cluster.ComputeTime(mapRank(node), start, units)
+		},
+		// A fresh serializer per run: links transmit one message at a
+		// time, so heavy balancing traffic can actually overload them.
+		Delay: func(from, to, bytes int, now float64) float64 {
+			return ser.Delay(mapRank(from), mapRank(to), bytes, now)
+		},
+	}
+	if _, isVT := w.cfg.Runner.(vtime.Runner); isVT {
+		// instantiate directly so we can read Deadlocked/TimedOut
+		w.vtsch = vtime.New(rcfg)
+		return w.vtsch.Run(bodies)
+	}
+	return w.cfg.Runner.Run(rcfg, bodies)
+}
+
+func (w *world) timedOut() bool {
+	return w.vtsch != nil && w.vtsch.TimedOut
+}
+
+// partition returns the initial contiguous component range of a rank:
+// components are "initially homogeneously distributed over the processors"
+// (§5).
+func partition(m, p, rank int) (lo, hi int) {
+	lo = rank * m / p
+	hi = (rank + 1) * m / p
+	return lo, hi
+}
+
+// sortedKeys returns the map's keys in increasing order.
+func sortedKeys(m map[int][]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

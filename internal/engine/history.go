@@ -1,0 +1,62 @@
+package engine
+
+// History records per-node, per-iteration time series of an execution:
+// residual decay, component-count migration and cumulative work. Attach one
+// to Config.History to collect it; each node appends only to its own row,
+// so collection is safe under both runtimes without locking.
+type History struct {
+	// Stride samples every Stride-th iteration (0 or 1 = every iteration).
+	Stride int
+	// ByNode[rank] holds that node's samples in iteration order.
+	ByNode [][]HistoryPoint
+}
+
+// HistoryPoint is one sampled iteration.
+type HistoryPoint struct {
+	Time     float64 // virtual time at the end of the iteration
+	Iter     int     // completed-iteration index
+	Residual float64
+	Count    int     // components owned
+	Work     float64 // cumulative work units
+}
+
+func (h *History) init(p int) {
+	if h.ByNode == nil {
+		h.ByNode = make([][]HistoryPoint, p)
+	}
+}
+
+func (h *History) stride() int {
+	if h.Stride <= 1 {
+		return 1
+	}
+	return h.Stride
+}
+
+// record appends a sample for rank (called by that rank's process only).
+func (h *History) record(rank int, pt HistoryPoint) {
+	if pt.Iter%h.stride() != 0 {
+		return
+	}
+	h.ByNode[rank] = append(h.ByNode[rank], pt)
+}
+
+// FinalCounts returns each node's last sampled component count.
+func (h *History) FinalCounts() []int {
+	out := make([]int, len(h.ByNode))
+	for r, row := range h.ByNode {
+		if len(row) > 0 {
+			out[r] = row[len(row)-1].Count
+		}
+	}
+	return out
+}
+
+// ResidualSeries returns (times, residuals) for one node.
+func (h *History) ResidualSeries(rank int) (ts, rs []float64) {
+	for _, pt := range h.ByNode[rank] {
+		ts = append(ts, pt.Time)
+		rs = append(rs, pt.Residual)
+	}
+	return ts, rs
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"testing"
+
+	"aiac/internal/grid"
+	"aiac/internal/loadbalance"
+)
+
+func TestHistoryCollection(t *testing.T) {
+	prob, _ := smallBruss()
+	h := &History{}
+	cfg := baseConfig(prob, 4)
+	cfg.Cluster = grid.Heterogeneous(4, 0.3, 5)
+	cfg.LB = loadbalance.DefaultPolicy()
+	cfg.LB.Period = 5
+	cfg.LB.MinKeep = 2
+	cfg.History = h
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(h.ByNode) != 4 {
+		t.Fatalf("ByNode rows: %d", len(h.ByNode))
+	}
+	for r, row := range h.ByNode {
+		if len(row) == 0 {
+			t.Fatalf("node %d has no samples", r)
+		}
+		// time and work must be non-decreasing, iter strictly increasing
+		for i := 1; i < len(row); i++ {
+			if row[i].Time < row[i-1].Time || row[i].Work < row[i-1].Work {
+				t.Fatalf("node %d: non-monotone series at %d", r, i)
+			}
+			if row[i].Iter <= row[i-1].Iter {
+				t.Fatalf("node %d: iteration index not increasing", r)
+			}
+		}
+		// last sampled count matches the result's final count
+		if got := row[len(row)-1].Count; got != res.FinalCount[r] {
+			t.Fatalf("node %d: history count %d vs final %d", r, got, res.FinalCount[r])
+		}
+	}
+	// counts must migrate: the heterogeneous platform should move work,
+	// so at least one node's count changes over its history
+	changed := false
+	for _, row := range h.ByNode {
+		for i := 1; i < len(row); i++ {
+			if row[i].Count != row[0].Count {
+				changed = true
+			}
+		}
+	}
+	if !changed && res.LBTransfers > 0 {
+		t.Fatal("transfers happened but no count change recorded")
+	}
+	// helpers
+	if got := h.FinalCounts(); len(got) != 4 {
+		t.Fatalf("FinalCounts: %v", got)
+	}
+	ts, rs := h.ResidualSeries(0)
+	if len(ts) != len(rs) || len(ts) == 0 {
+		t.Fatalf("ResidualSeries: %d/%d", len(ts), len(rs))
+	}
+}
+
+func TestHistoryStride(t *testing.T) {
+	prob, _ := smallBruss()
+	h := &History{Stride: 5}
+	cfg := baseConfig(prob, 2)
+	cfg.History = h
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for r, row := range h.ByNode {
+		for _, pt := range row {
+			if pt.Iter%5 != 0 {
+				t.Fatalf("node %d: unsampled iteration %d recorded", r, pt.Iter)
+			}
+		}
+	}
+}

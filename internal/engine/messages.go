@@ -1,0 +1,54 @@
+package engine
+
+// Engine message kinds. They must stay below detect.KindBase (100).
+const (
+	// kindBoundary carries a halo update plus the sender's load estimate
+	// (the paper attaches the residual and the global positions to every
+	// data exchange, Algorithm 4).
+	kindBoundary = 1 + iota
+	// kindLBData ships components to a neighbor (Algorithm 5/6).
+	kindLBData
+	// kindLBAck confirms an LB transfer was integrated.
+	kindLBAck
+	// kindLBReject returns an LB transfer that could not be integrated
+	// (crossing transfers or a stale position); the sender restores the
+	// components. This handshake is our concurrency-safety addition to
+	// the paper's protocol — see DESIGN.md.
+	kindLBReject
+)
+
+// boundaryMsg is the payload of kindBoundary. Comps[i] is the trajectory of
+// global component Pos+i; the receiver validates the positions against its
+// expected halo range and drops mismatches (Algorithm 7), but always
+// records Load and Iter.
+type boundaryMsg struct {
+	Iter  int
+	Pos   int
+	Comps [][]float64
+	Load  float64
+}
+
+// lbDataMsg is the payload of kindLBData. Comps holds Count transferred
+// components plus Halo dependency components, all in ascending global
+// position starting at Pos. When sent rightward the dependencies come
+// first; when sent leftward the transferred components come first.
+type lbDataMsg struct {
+	Pos   int
+	Count int
+	Comps [][]float64
+	Load  float64
+}
+
+// lbCtrlMsg is the payload of kindLBAck and kindLBReject, echoing the
+// transfer it answers.
+type lbCtrlMsg struct {
+	Pos   int
+	Count int
+}
+
+const msgHeaderBytes = 32
+
+// trajBytes estimates the wire size of n trajectories of the given length.
+func trajBytes(n, trajLen int) int {
+	return msgHeaderBytes + n*trajLen*8
+}

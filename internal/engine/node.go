@@ -1,0 +1,564 @@
+package engine
+
+import (
+	"fmt"
+
+	"aiac/internal/detect"
+	"aiac/internal/iterative"
+	"aiac/internal/loadbalance"
+	"aiac/internal/runenv"
+	"aiac/internal/trace"
+)
+
+const (
+	dirLeft  = 0
+	dirRight = 1
+)
+
+// nodeOutcome is what one worker hands back to Run when it halts.
+type nodeOutcome struct {
+	positions []int
+	trajs     [][]float64
+	// provisional[i] marks positions re-adopted by the halt-time restore
+	// of an unacknowledged transfer: their trajectories are stale, and
+	// the gathered state prefers any other node's copy.
+	provisional []bool
+	iters       int
+	work        float64
+	residual    float64
+
+	lbSent, lbRecv, lbRejected, compsMoved int
+	msgsBoundary, suppressed               int
+
+	// haltedOK is true when this node halted through successful
+	// convergence detection (used by the decentralized ring protocol,
+	// which has no central detector to report the outcome).
+	haltedOK bool
+}
+
+// node is one worker process: it owns the contiguous component range
+// [startC, endC), the trajectories of those components plus a halo on each
+// side, and all the per-node protocol state.
+type node struct {
+	env  runenv.Env
+	cfg  *Config
+	rank int
+	p    int
+	det  int // detector rank
+
+	prob    iterative.Problem
+	halo    int
+	m       int // total components
+	trajLen int
+
+	startC, endC int
+	val          map[int][]float64 // previous-iteration trajectories + halos
+	buf          map[int][]float64 // scratch buffers for owned components
+
+	residual    float64 // last completed iteration's residual
+	iterTime    float64 // duration of the last compute sweep
+	loadEst     float64 // (smoothed) load estimate attached to messages
+	loadEstInit bool
+	iter        int // completed iterations
+
+	nbLoad      [2]float64
+	nbLoadValid [2]bool
+	nbIter      [2]int
+
+	sendBusyUntil [2]float64 // boundary-send mutual exclusion (Figure 4)
+
+	lbPending      [2]bool
+	lbPendingPos   [2]int
+	lbPendingCount [2]int
+	lbPendingSent  [2]float64 // send time, for flight-duration backoff
+	lbKeep         [2]map[int][]float64
+	lbDone         bool
+	okToTry        int
+
+	pendingGo *detect.GoMsg
+
+	client convDetector
+	halted bool
+
+	// inSweep is true while sweep is between its first Update and its
+	// buf→val swap; it tells newest() where the freshest values live.
+	inSweep bool
+	// sweepPos is the component currently being updated; under local
+	// Gauss-Seidel, get() serves buf values for own components already
+	// updated this sweep.
+	sweepPos int
+
+	outc nodeOutcome
+}
+
+func newNode(env runenv.Env, cfg *Config, rank int) *node {
+	n := &node{
+		env:     env,
+		cfg:     cfg,
+		rank:    rank,
+		p:       cfg.P,
+		det:     cfg.P,
+		prob:    cfg.Problem,
+		halo:    cfg.Problem.Halo(),
+		m:       cfg.Problem.Components(),
+		trajLen: cfg.Problem.TrajLen(),
+		val:     make(map[int][]float64),
+		buf:     make(map[int][]float64),
+		nbIter:  [2]int{-1, -1},
+		okToTry: cfg.LBWarmup,
+	}
+	n.startC, n.endC = partition(n.m, n.p, rank)
+	for j := n.startC - n.halo; j < n.endC+n.halo; j++ {
+		if j < 0 || j >= n.m {
+			continue
+		}
+		n.val[j] = n.prob.Init(j)
+		if j >= n.startC && j < n.endC {
+			n.buf[j] = make([]float64, n.trajLen)
+		}
+	}
+	if cfg.Mode != SISC {
+		if cfg.Detection == DetectRing {
+			n.client = &detect.RingClient{Rank: rank, P: cfg.P, Streak: cfg.ConvStreak}
+		} else {
+			n.client = &detect.Client{DetectorID: n.det, Streak: cfg.ConvStreak}
+		}
+	}
+	return n
+}
+
+// convDetector is the node-side face of a convergence-detection protocol;
+// satisfied by the centralized detect.Client and the decentralized
+// detect.RingClient.
+type convDetector interface {
+	AfterIteration(env runenv.Env, locallyConverged bool)
+	HandleMsg(env runenv.Env, m runenv.Msg) bool
+	Abort(env runenv.Env)
+	Halted() bool
+	Aborted() bool
+}
+
+// run executes the node until global halt and returns its outcome.
+func (n *node) run() *nodeOutcome {
+	switch n.cfg.Mode {
+	case SISC, SIAC:
+		n.runSync()
+	default:
+		n.runAsync()
+	}
+	// A transfer still unacknowledged at halt is treated as rejected so
+	// the shipped components are not lost from the gathered state (the
+	// receiver may also have integrated them; Run deduplicates,
+	// preferring the receiver's fresher copies over these provisional
+	// restored ones).
+	restored := make(map[int]bool)
+	for dir := 0; dir < 2; dir++ {
+		if n.lbPending[dir] {
+			for j := range n.lbKeep[dir] {
+				restored[j] = true
+			}
+			n.restoreLB(dir)
+		}
+	}
+	for _, j := range sortedKeys(n.val) {
+		if j >= n.startC && j < n.endC {
+			n.outc.positions = append(n.outc.positions, j)
+			n.outc.trajs = append(n.outc.trajs, n.val[j])
+			n.outc.provisional = append(n.outc.provisional, restored[j])
+		}
+	}
+	n.outc.iters = n.iter
+	n.outc.residual = n.residual
+	if n.client != nil {
+		n.outc.haltedOK = n.client.Halted() && !n.client.Aborted()
+	} else {
+		n.outc.haltedOK = n.halted
+	}
+	return &n.outc
+}
+
+// runAsync is the AIAC main loop: Algorithm 1 (unbalanced) extended with
+// the Algorithm 4 load-balancing sections.
+func (n *node) runAsync() {
+	cfg := n.cfg
+	for {
+		n.drain()
+		if n.halted || n.env.Stopped() {
+			return
+		}
+		if cfg.LB.Enabled && n.iter >= cfg.LBWarmup {
+			if n.lbDone {
+				// Algorithm 4: the resize after a completed transfer.
+				// Range bookkeeping happened eagerly on receipt; this
+				// branch just consumes the flag (and costs an iteration
+				// before the next attempt, as in the paper).
+				n.lbDone = false
+			} else if n.okToTry <= 0 {
+				if !n.tryLB(dirLeft) {
+					n.tryLB(dirRight)
+				}
+			} else {
+				n.okToTry--
+			}
+		}
+		n.sweep(true)
+		n.sendBoundary(dirRight, n.loadEst, n.iter)
+		n.iter++
+		n.client.AfterIteration(n.env, n.residual < cfg.Tol)
+		if n.iter >= cfg.MaxIter {
+			n.client.Abort(n.env)
+			n.waitHalt()
+			return
+		}
+	}
+}
+
+// runSync is the SISC/SIAC main loop: iterations stay in lockstep through
+// neighbor-data waits (both modes) and a global barrier (SISC only).
+func (n *node) runSync() {
+	cfg := n.cfg
+	for {
+		n.drain()
+		if n.halted || n.env.Stopped() {
+			return
+		}
+		k := n.iter
+		n.sweep(cfg.Mode == SIAC)
+		if cfg.Mode == SISC {
+			n.sendBoundary(dirLeft, n.loadEst, k)
+		}
+		n.sendBoundary(dirRight, n.loadEst, k)
+		n.iter++
+		conv := n.residual < cfg.Tol
+		if cfg.Mode == SISC {
+			halt, ok := n.barrier(k, conv, n.iter >= cfg.MaxIter)
+			if halt || !ok {
+				return
+			}
+		} else {
+			n.client.AfterIteration(n.env, conv)
+			if n.iter >= cfg.MaxIter {
+				n.client.Abort(n.env)
+				n.waitHalt()
+				return
+			}
+		}
+		if !n.waitNeighbors(k) {
+			return
+		}
+	}
+}
+
+// sweep performs one local iteration: it updates every owned component into
+// buf, optionally sending the left halo mid-iteration (SIAC/AIAC), then
+// computes the residual and promotes buf to val.
+func (n *node) sweep(midSendLeft bool) {
+	cfg := n.cfg
+	t0 := n.env.Now()
+	n.env.Work(cfg.IterOverhead)
+	n.outc.work += cfg.IterOverhead
+
+	count := n.endC - n.startC
+	sendAt := n.halo
+	if sendAt > count-1 {
+		sendAt = count - 1
+	}
+	n.inSweep = true
+	idx := 0
+	for j := n.startC; j < n.endC; j++ {
+		n.sweepPos = j
+		w := n.prob.Update(j, n.val[j], n.get, n.buf[j])
+		units := w*cfg.WorkScale + cfg.CompOverhead
+		n.env.Work(units)
+		n.outc.work += units
+		if midSendLeft && idx == sendAt {
+			// "if j = StartC+2 … send the two first local components to
+			// the left processor" — with the previous iteration's load
+			// estimate attached (Algorithm 4 attaches "the residual of
+			// [the] previous iteration" to the left sends; loadEst is
+			// refreshed only after the sweep).
+			n.sendBoundary(dirLeft, n.loadEst, n.iter)
+		}
+		idx++
+	}
+	res := 0.0
+	for j := n.startC; j < n.endC; j++ {
+		if r := iterative.Residual(n.val[j], n.buf[j]); r > res {
+			res = r
+		}
+		n.val[j], n.buf[j] = n.buf[j], n.val[j]
+	}
+	n.inSweep = false
+	n.residual = res
+	n.iterTime = n.env.Now() - t0
+	n.updateLoadEst()
+	if h := cfg.History; h != nil {
+		h.record(n.rank, HistoryPoint{
+			Time: n.env.Now(), Iter: n.iter, Residual: res,
+			Count: n.endC - n.startC, Work: n.outc.work,
+		})
+	}
+	if n.traceOn() {
+		n.env.Trace(trace.Event{
+			T0: t0, T1: n.env.Now(), Node: n.rank, To: -1,
+			Kind: trace.Compute, Iter: n.iter,
+		})
+	}
+}
+
+// get is the neighbor accessor handed to Problem.Update. Under local
+// Gauss-Seidel it serves the freshest values for own components already
+// updated in the current sweep.
+func (n *node) get(i int) []float64 {
+	if n.cfg.GaussSeidelLocal && n.inSweep && i >= n.startC && i < n.sweepPos {
+		if tr, ok := n.buf[i]; ok {
+			return tr
+		}
+	}
+	tr, ok := n.val[i]
+	if !ok {
+		panic(fmt.Sprintf("engine: node %d accessed unknown component %d (owns [%d,%d))",
+			n.rank, i, n.startC, n.endC))
+	}
+	return tr
+}
+
+// sendBoundary ships the node's first (dirLeft) or last (dirRight) halo
+// components — their freshly computed values — to the chain neighbor,
+// with global positions and the load estimate attached. Under the AIAC
+// variant the send is suppressed while the previous one in the same
+// direction is still in flight (the Figure 4 mutual exclusion).
+func (n *node) sendBoundary(dir int, load float64, iterTag int) {
+	peer := n.rank - 1
+	if dir == dirRight {
+		peer = n.rank + 1
+	}
+	if peer < 0 || peer >= n.p {
+		return
+	}
+	if n.cfg.Mode == AIAC && n.env.Now() < n.sendBusyUntil[dir] {
+		n.outc.suppressed++
+		return
+	}
+	pos := n.startC
+	if dir == dirRight {
+		pos = n.endC - n.halo
+	}
+	comps := make([][]float64, n.halo)
+	for i := range comps {
+		// mid-iteration sends happen before the buf→val swap (freshest
+		// values in buf), end-of-iteration sends after it (freshest in
+		// val); newest() picks the right one.
+		comps[i] = cloneTraj(n.newest(pos + i))
+	}
+	kindEv := trace.SendLeft
+	if dir == dirRight {
+		kindEv = trace.SendRight
+	}
+	msg := boundaryMsg{Iter: iterTag, Pos: pos, Comps: comps, Load: load}
+	arrival := n.env.Send(peer, kindBoundary, msg, trajBytes(n.halo, n.trajLen))
+	n.sendBusyUntil[dir] = arrival
+	n.outc.msgsBoundary++
+	if n.traceOn() {
+		n.env.Trace(trace.Event{
+			T0: n.env.Now(), T1: arrival, Node: n.rank, To: peer,
+			Kind: kindEv, Iter: iterTag,
+		})
+	}
+}
+
+// newest returns the most recently computed trajectory of an owned
+// component: during a sweep (before the swap) that is buf, afterwards val.
+func (n *node) newest(j int) []float64 {
+	if n.inSweep {
+		return n.buf[j]
+	}
+	return n.val[j]
+}
+
+// drain processes every pending message without blocking.
+func (n *node) drain() {
+	for {
+		m, ok := n.env.Recv()
+		if !ok {
+			return
+		}
+		n.handleMsg(m)
+	}
+}
+
+// waitHalt blocks until the detector halts the system.
+func (n *node) waitHalt() {
+	for !n.halted {
+		m, ok := n.env.RecvWait()
+		if !ok {
+			return
+		}
+		n.handleMsg(m)
+	}
+}
+
+// waitNeighbors blocks until both existing neighbors' iteration-k halo data
+// has arrived (the synchronous-iteration condition of SISC/SIAC). It
+// returns false when the node should stop.
+func (n *node) waitNeighbors(k int) bool {
+	t0 := n.env.Now()
+	waited := false
+	for {
+		ready := true
+		if n.rank > 0 && n.nbIter[dirLeft] < k {
+			ready = false
+		}
+		if n.rank < n.p-1 && n.nbIter[dirRight] < k {
+			ready = false
+		}
+		if ready {
+			if waited && n.traceOn() {
+				n.env.Trace(trace.Event{
+					T0: t0, T1: n.env.Now(), Node: n.rank, To: -1,
+					Kind: trace.Idle, Iter: k,
+				})
+			}
+			return true
+		}
+		if n.halted || n.env.Stopped() {
+			return false
+		}
+		m, ok := n.env.RecvWait()
+		if !ok {
+			return false
+		}
+		waited = true
+		n.handleMsg(m)
+	}
+}
+
+// barrier implements the SISC global barrier through the coordinator,
+// reporting convergence; it returns halt=true when the coordinator ends
+// the computation.
+func (n *node) barrier(k int, conv, abort bool) (halt, ok bool) {
+	n.env.Send(n.det, detect.KindBarrierArrive,
+		detect.ArriveMsg{Iter: k, Conv: conv, Abort: abort}, msgHeaderBytes)
+	t0 := n.env.Now()
+	for {
+		if g := n.pendingGo; g != nil && g.Iter == k {
+			n.pendingGo = nil
+			if n.traceOn() {
+				n.env.Trace(trace.Event{
+					T0: t0, T1: n.env.Now(), Node: n.rank, To: -1,
+					Kind: trace.Idle, Iter: k, Note: "barrier",
+				})
+			}
+			if g.Halt {
+				n.halted = true
+			}
+			return g.Halt, true
+		}
+		m, okRecv := n.env.RecvWait()
+		if !okRecv {
+			return false, false
+		}
+		n.handleMsg(m)
+	}
+}
+
+// handleMsg dispatches one received message.
+func (n *node) handleMsg(m runenv.Msg) {
+	if m.Kind >= detect.KindBase {
+		if m.Kind == detect.KindBarrierGo {
+			g := m.Payload.(detect.GoMsg)
+			n.pendingGo = &g
+			return
+		}
+		if n.client != nil {
+			n.client.HandleMsg(n.env, m)
+			if n.client.Halted() {
+				n.halted = true
+			}
+		}
+		return
+	}
+	switch m.Kind {
+	case kindBoundary:
+		n.recvBoundary(m)
+	case kindLBData:
+		n.recvLBData(m)
+	case kindLBAck:
+		n.recvLBAck(m)
+	case kindLBReject:
+		n.recvLBReject(m)
+	}
+}
+
+// recvBoundary integrates a halo update after validating its global
+// positions against the expected range; mismatches are dropped but the
+// attached load estimate and iteration tag are always recorded
+// (Algorithm 7).
+func (n *node) recvBoundary(m runenv.Msg) {
+	b := m.Payload.(boundaryMsg)
+	dir, ok := n.dirOf(m.From)
+	if !ok {
+		return
+	}
+	n.nbLoad[dir] = b.Load
+	n.nbLoadValid[dir] = true
+	if b.Iter > n.nbIter[dir] {
+		n.nbIter[dir] = b.Iter
+	}
+	expect := n.startC - n.halo
+	if dir == dirRight {
+		expect = n.endC
+	}
+	if b.Pos != expect || len(b.Comps) != n.halo {
+		return // the ranges are shifting under load balancing: drop
+	}
+	for i, tr := range b.Comps {
+		n.val[b.Pos+i] = tr
+	}
+}
+
+// dirOf maps a sender rank to a chain direction.
+func (n *node) dirOf(from int) (int, bool) {
+	switch from {
+	case n.rank - 1:
+		return dirLeft, true
+	case n.rank + 1:
+		return dirRight, true
+	default:
+		return 0, false
+	}
+}
+
+// updateLoadEst refreshes the node's (smoothed) load estimate from the
+// iteration that just completed.
+func (n *node) updateLoadEst() {
+	var raw float64
+	switch n.cfg.LB.Estimator {
+	case loadbalance.EstimatorIterTime:
+		raw = n.iterTime
+	case loadbalance.EstimatorCount:
+		raw = float64(n.endC - n.startC)
+	default:
+		raw = n.residual
+	}
+	alpha := n.cfg.LB.SmoothingFactor()
+	if !n.loadEstInit {
+		n.loadEst = raw
+		n.loadEstInit = true
+		return
+	}
+	n.loadEst = alpha*raw + (1-alpha)*n.loadEst
+}
+
+func (n *node) traceOn() bool {
+	if n.cfg.Trace == nil {
+		return false
+	}
+	return n.cfg.TraceIters == 0 || n.iter < n.cfg.TraceIters
+}
+
+func cloneTraj(tr []float64) []float64 {
+	out := make([]float64, len(tr))
+	copy(out, tr)
+	return out
+}

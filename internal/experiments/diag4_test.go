@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"aiac/internal/engine"
+	"aiac/internal/grid"
+	"aiac/internal/loadbalance"
+)
+
+func TestDiagTable1Policy(t *testing.T) {
+	bc := mkBruss(120, 1, 0.02, 1e-6)
+	cl := grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 100, MultiUser: true})
+	speeds := make([]float64, 15)
+	for i, n := range cl.Nodes {
+		speeds[i] = n.Speed / grid.BaseSpeed
+	}
+	t.Logf("speeds %v", speeds)
+	base := baseCfg(bc, engine.AIAC, 15, cl, 0)
+	resNo := run(base)
+	t.Logf("noLB: time %.2f iters-spread %v", resNo.Time, resNo.NodeIters)
+	for _, est := range []loadbalance.Estimator{loadbalance.EstimatorResidual, loadbalance.EstimatorIterTime} {
+		for _, thr := range []float64{1.2, 1.5, 2, 3} {
+			for _, per := range []int{5, 20} {
+				cfg := base
+				pol := lbPolicy(per)
+				pol.Estimator = est
+				pol.ThresholdRatio = thr
+				cfg.LB = pol
+				res := run(cfg)
+				t.Logf("est=%-8s thr=%.1f per=%-3d time %.2f ratio %.2f transfers %d rejects %d moved %d final %v",
+					est, thr, per, res.Time, resNo.Time/res.Time, res.LBTransfers, res.LBRejects, res.LBCompsMoved, res.FinalCount)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"aiac/internal/engine"
+	"aiac/internal/grid"
+	"aiac/internal/loadbalance"
+)
+
+func TestDiagComputeBound(t *testing.T) {
+	// compute-bound sizing: 16 cells/node x 200 steps ≈ 8k units/sweep
+	bc := mkBruss(240, 2, 0.01, 1e-6)
+	cl := grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 100, MultiUser: true})
+	base := baseCfg(bc, engine.AIAC, 15, cl, 0)
+	w0 := time.Now()
+	resNo := run(base)
+	t.Logf("noLB: time %.2f (wall %.1fs) iters %v", resNo.Time, time.Since(w0).Seconds(), resNo.NodeIters)
+	for _, est := range []loadbalance.Estimator{loadbalance.EstimatorResidual, loadbalance.EstimatorIterTime} {
+		for _, thr := range []float64{1.5, 2} {
+			cfg := base
+			pol := lbPolicy(20)
+			pol.Estimator = est
+			pol.ThresholdRatio = thr
+			cfg.LB = pol
+			w := time.Now()
+			res := run(cfg)
+			t.Logf("est=%-8s thr=%.1f time %.2f ratio %.2f (wall %.1fs) transfers %d rejects %d moved %d final %v",
+				est, thr, res.Time, resNo.Time/res.Time, time.Since(w).Seconds(), res.LBTransfers, res.LBRejects, res.LBCompsMoved, res.FinalCount)
+		}
+	}
+}

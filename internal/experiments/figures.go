@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"aiac/internal/asciiplot"
+	"aiac/internal/engine"
+	"aiac/internal/grid"
+	"aiac/internal/stats"
+	"aiac/internal/trace"
+)
+
+// FlowFigures reproduces Figures 1-4: the execution flows of SISC, SIAC,
+// the general AIAC and the mutual-exclusion AIAC variant, on two processors
+// of different speeds, rendered as ASCII Gantt charts. The qualitative
+// shapes checked: SISC shows the largest idle fraction, the AIAC variants
+// essentially none, and the variant suppresses some sends that the general
+// AIAC performs.
+func FlowFigures(scale Scale) []Report {
+	type figSpec struct {
+		id, title, claim string
+		mode             engine.Mode
+	}
+	specs := []figSpec{
+		{"fig1", "SISC execution flow", "idle gaps between every iteration (synchronous exchanges)", engine.SISC},
+		{"fig2", "SIAC execution flow", "shorter idle times thanks to overlapped sends", engine.SIAC},
+		{"fig3", "AIAC general execution flow", "no idle times between iterations", engine.AIACGeneral},
+		{"fig4", "AIAC variant execution flow", "no idle times; some sends suppressed by mutual exclusion", engine.AIAC},
+	}
+	iters := 8
+	bc := mkBruss(16, 0.5, 0.05, 1e-300) // tolerance unreachable: trace a fixed window
+	// Two processors of different speeds on a slow link make the idle
+	// structure visible, like the paper's sketches.
+	cl := grid.Homogeneous(2)
+	cl.Nodes[1].Speed = 0.55 * grid.BaseSpeed
+	cl.Intra = grid.Link{Latency: 2e-3, Bandwidth: 2e6}
+
+	idle := make([]float64, len(specs))
+	suppressed := make([]int, len(specs))
+	out := make([]Report, len(specs))
+	for i, spec := range specs {
+		log := &trace.Log{}
+		cfg := baseCfg(bc, spec.mode, 2, cl, 3)
+		cfg.MaxIter = iters
+		cfg.Trace = log
+		cfg.TraceIters = iters
+		res := run(cfg)
+		fr := trace.IdleFractionWithin(log)
+		worst := 0.0
+		for _, f := range fr {
+			if f > worst {
+				worst = f
+			}
+		}
+		idle[i] = worst
+		suppressed[i] = res.SuppressedSnd
+		out[i] = Report{
+			ID:         spec.id,
+			Title:      spec.title,
+			PaperClaim: spec.claim,
+			Measured:   fmt.Sprintf("max idle fraction %.0f%%, %d suppressed sends, %d boundary msgs", worst*100, res.SuppressedSnd, res.BoundaryMsgs),
+			Text:       trace.Gantt(log, trace.GanttConfig{Width: 100, Arrows: true}),
+		}
+	}
+	// shape checks across the four figures
+	out[0].Pass = idle[0] > idle[2] && idle[0] > 0.05  // SISC has real idle gaps
+	out[1].Pass = idle[1] <= idle[0]                   // SIAC no worse than SISC
+	out[2].Pass = idle[2] < 0.05 && suppressed[2] == 0 // AIAC-general: no idle, no suppression
+	out[3].Pass = idle[3] < 0.05 && suppressed[3] > 0  // variant: no idle, sends suppressed
+	return out
+}
+
+// Fig5 reproduces Figure 5: execution time versus number of processors on
+// the local homogeneous cluster, for the non-balanced and balanced AIAC
+// solvers, on log-log axes. The paper's shapes: both curves scale well
+// (near-straight in log-log) and the balanced curve sits below the
+// non-balanced one by a large constant factor (6.2-7.4 in the paper).
+func Fig5(scale Scale) Report {
+	procs := []int{1, 2, 4, 8}
+	bc := mkBruss(64, 1, 0.02, 1e-6)
+	if scale == Full {
+		procs = []int{1, 2, 4, 8, 16, 32}
+		bc = mkBruss(256, 1, 0.01, 1e-6) // keeps >= 8 cells/node at P=32
+	}
+	var tNo, tLB []float64
+	xs := make([]float64, len(procs))
+	tab := stats.NewTable("procs", "time w/o LB (s)", "time with LB (s)", "ratio")
+	for i, p := range procs {
+		cl := noisyHomogeneous(p, 77, 0.15, 0.5)
+		cfgNo := baseCfg(bc, engine.AIAC, p, cl, 5)
+		resNo := run(cfgNo)
+		cfgLB := cfgNo
+		cfgLB.LB = lbPolicy(20)
+		resLB := run(cfgLB)
+		if !resNo.Converged || !resLB.Converged {
+			panic("experiments: fig5 run did not converge")
+		}
+		xs[i] = float64(p)
+		tNo = append(tNo, resNo.Time)
+		tLB = append(tLB, resLB.Time)
+		tab.AddRow(p, resNo.Time, resLB.Time, resNo.Time/resLB.Time)
+	}
+	plot := asciiplot.Plot(asciiplot.Config{
+		Width: 70, Height: 18, LogX: true, LogY: true,
+		Title:  "Figure 5 — execution times on a homogeneous cluster",
+		XLabel: "number of processors", YLabel: "time (s)",
+	},
+		asciiplot.Series{Name: "Without LB", X: xs, Y: tNo},
+		asciiplot.Series{Name: "With LB", X: xs, Y: tLB},
+	)
+	ratios := make([]float64, len(procs))
+	allWin := true
+	for i := range procs {
+		ratios[i] = tNo[i] / tLB[i]
+		if i > 0 && ratios[i] <= 1 { // P=1 has nothing to balance
+			allWin = false
+		}
+	}
+	// scalability: time at max P clearly below time at 1 for both curves
+	scalable := tNo[len(tNo)-1] < tNo[0] && tLB[len(tLB)-1] < tLB[0]
+	rs := stats.Summarize(ratios[1:])
+	return Report{
+		ID:         "fig5",
+		Title:      "execution time vs processors, homogeneous cluster, with/without LB",
+		PaperClaim: "both versions scale well; LB wins by 6.2-7.4x (avg 6.8x)",
+		Measured: fmt.Sprintf("both scale (t(%d)<t(1)); LB wins on every P>1: ratios %.2f-%.2f (avg %.2f)",
+			procs[len(procs)-1], rs.Min, rs.Max, rs.Mean),
+		Pass: allWin && scalable,
+		Text: tab.String() + "\n" + plot,
+	}
+}
+
+// Table1 reproduces Table 1: balanced versus non-balanced AIAC on the
+// 15-machine, 3-site heterogeneous grid with multi-user background load,
+// averaged over a series of executions. The paper: 515.3 s vs 105.5 s,
+// ratio 4.88, noting the ratio is smaller than on the local cluster because
+// communications (and hence migrations) cost more.
+func Table1(scale Scale) Report {
+	// Sizing note: the paper's §6 conditions require iteration compute to
+	// dominate communication for balancing to pay off; with 16 cells per
+	// node and 100+ Euler steps per sweep, slow-node sweeps (~40 ms) far
+	// exceed the WAN hop latency (~20 ms).
+	repeats := 2
+	bc := mkBruss(240, 0.5, 0.005, 1e-6)
+	if scale == Full {
+		repeats = 5
+		bc = mkBruss(240, 2, 0.01, 1e-6)
+	}
+	var tNo, tLB []float64
+	for r := 0; r < repeats; r++ {
+		cl := grid.HeteroGrid15(grid.HeteroGridConfig{Seed: int64(100 + r), MultiUser: true})
+		cfgNo := baseCfg(bc, engine.AIAC, 15, cl, int64(r))
+		resNo := run(cfgNo)
+		cfgLB := cfgNo
+		cfgLB.LB = lbPolicy(20)
+		resLB := run(cfgLB)
+		if !resNo.Converged || !resLB.Converged {
+			panic("experiments: table1 run did not converge")
+		}
+		tNo = append(tNo, resNo.Time)
+		tLB = append(tLB, resLB.Time)
+	}
+	mNo, mLB := stats.Mean(tNo), stats.Mean(tLB)
+	ratio := mNo / mLB
+	tab := stats.NewTable("version", "execution time (s)", "ratio")
+	tab.AddRow("non-balanced", mNo, 1.0)
+	tab.AddRow("balanced", mLB, ratio)
+	var b strings.Builder
+	b.WriteString(tab.String())
+	fmt.Fprintf(&b, "\n(mean of %d runs; per-run times without LB %v, with LB %v)\n",
+		repeats, fmtTimes(tNo), fmtTimes(tLB))
+	return Report{
+		ID:         "table1",
+		Title:      "heterogeneous 3-site grid (15 machines), balanced vs non-balanced",
+		PaperClaim: "515.3 s vs 105.5 s: balanced wins with ratio 4.88",
+		Measured:   fmt.Sprintf("%.1f s vs %.1f s: balanced wins with ratio %.2f", mNo, mLB, ratio),
+		Pass:       ratio > 1,
+		Text:       b.String(),
+	}
+}
+
+func fmtTimes(ts []float64) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("%.1f", t)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,9 @@
+package experiments
+
+import "testing"
+
+func TestAllQuick(t *testing.T) {
+	for _, r := range All(Quick) {
+		t.Log("\n" + r.String())
+	}
+}

@@ -1,0 +1,244 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkTransfer(t *testing.T) {
+	l := Link{Latency: 0.01, Bandwidth: 1000}
+	if got := l.Transfer(500); math.Abs(got-0.51) > 1e-12 {
+		t.Fatalf("Transfer(500) = %g, want 0.51", got)
+	}
+	inf := Link{Latency: 0.002}
+	if got := inf.Transfer(1 << 20); got != 0.002 {
+		t.Fatalf("infinite bandwidth Transfer = %g", got)
+	}
+}
+
+func TestLoadTraceFactor(t *testing.T) {
+	lt := &LoadTrace{
+		Breaks:  []float64{0, 10, 20},
+		Factors: []float64{1.0, 0.5, 0.25},
+	}
+	cases := []struct{ t, want float64 }{
+		{-5, 1.0}, {0, 1.0}, {5, 1.0}, {10, 0.5}, {15, 0.5}, {20, 0.25}, {100, 0.25},
+	}
+	for _, c := range cases {
+		if got := lt.Factor(c.t); got != c.want {
+			t.Errorf("Factor(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestLoadTraceTimeFor(t *testing.T) {
+	lt := &LoadTrace{
+		Breaks:  []float64{0, 10},
+		Factors: []float64{1.0, 0.5},
+	}
+	// Starting at t=5, 10 base-seconds of work: 5s at factor 1 gives 5
+	// units, remaining 5 units at factor 0.5 takes 10s -> total 15s.
+	if got := lt.timeFor(5, 10); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("timeFor(5, 10) = %g, want 15", got)
+	}
+	// Entirely within the slow tail.
+	if got := lt.timeFor(50, 3); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("timeFor(50, 3) = %g, want 6", got)
+	}
+	// nil trace passthrough
+	var nilTrace *LoadTrace
+	if got := nilTrace.timeFor(0, 7); got != 7 {
+		t.Fatalf("nil trace timeFor = %g", got)
+	}
+}
+
+// TestTimeForInvertsIntegral checks the defining property of timeFor: the
+// integral of the factor over [start, start+timeFor(start, w)] equals w.
+func TestTimeForInvertsIntegral(t *testing.T) {
+	integrate := func(lt *LoadTrace, a, b float64) float64 {
+		const steps = 200000
+		h := (b - a) / steps
+		sum := 0.0
+		for i := 0; i < steps; i++ {
+			sum += lt.Factor(a+(float64(i)+0.5)*h) * h
+		}
+		return sum
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lt := MultiUserTrace(rng, 100, 5, 3, 0.3)
+		if lt.Validate() != nil {
+			return false
+		}
+		start := rng.Float64() * 50
+		work := 0.5 + rng.Float64()*20
+		d := lt.timeFor(start, work)
+		got := integrate(lt, start, start+d)
+		return math.Abs(got-work) < 1e-2*work+1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiUserTraceValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		lt := MultiUserTrace(rand.New(rand.NewSource(seed)), 1000, 60, 40, 0.35)
+		if err := lt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(lt.Breaks) == 0 {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	bad := []*LoadTrace{
+		{Breaks: []float64{0, 1}, Factors: []float64{1}},
+		{Breaks: []float64{0, 0}, Factors: []float64{1, 1}},
+		{Breaks: []float64{0, 1}, Factors: []float64{1, -0.5}},
+	}
+	for i, lt := range bad {
+		if lt.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestHomogeneousCluster(t *testing.T) {
+	c := Homogeneous(8)
+	if c.P() != 8 {
+		t.Fatalf("P = %d", c.P())
+	}
+	for i := 0; i < 8; i++ {
+		if c.Nodes[i].Speed != BaseSpeed {
+			t.Fatalf("node %d speed %g", i, c.Nodes[i].Speed)
+		}
+	}
+	// compute time is just units/speed
+	if got := c.ComputeTime(3, 100, BaseSpeed); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ComputeTime = %g, want 1", got)
+	}
+	// intra-site delay
+	d := c.Delay(0, 5, 1000)
+	want := 1e-4 + 1000/1e7
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("Delay = %g, want %g", d, want)
+	}
+	// self-delay is tiny but positive
+	if sd := c.Delay(2, 2, 1<<20); sd <= 0 || sd > 1e-4 {
+		t.Fatalf("self delay = %g", sd)
+	}
+}
+
+func TestHeteroGrid15(t *testing.T) {
+	c := HeteroGrid15(HeteroGridConfig{Seed: 1, MultiUser: true})
+	if c.P() != 15 {
+		t.Fatalf("P = %d", c.P())
+	}
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	crossSite := 0
+	for i, n := range c.Nodes {
+		if n.Speed < minS {
+			minS = n.Speed
+		}
+		if n.Speed > maxS {
+			maxS = n.Speed
+		}
+		if n.Load == nil {
+			t.Fatalf("node %d missing load trace", i)
+		}
+		if i > 0 && c.Nodes[i-1].Site != n.Site {
+			crossSite++
+		}
+	}
+	if maxS/minS < 3 {
+		t.Fatalf("speed spread %g too small for a heterogeneous grid", maxS/minS)
+	}
+	if crossSite < 10 {
+		t.Fatalf("chain should be irregular across sites, only %d crossings", crossSite)
+	}
+	// inter-site delays dominate intra-site ones
+	var intra, inter float64
+	for i := 1; i < c.P(); i++ {
+		d := c.Delay(0, i, 1000)
+		if c.Nodes[i].Site == c.Nodes[0].Site {
+			intra = d
+		} else {
+			inter = d
+		}
+	}
+	if inter <= intra {
+		t.Fatalf("inter-site delay %g should exceed intra-site %g", inter, intra)
+	}
+}
+
+func TestHeterogeneousPreset(t *testing.T) {
+	c := Heterogeneous(10, 0.25, 3)
+	if c.P() != 10 {
+		t.Fatalf("P = %d", c.P())
+	}
+	for i, n := range c.Nodes {
+		f := n.Speed / BaseSpeed
+		if f < 0.25 || f > 1 {
+			t.Fatalf("node %d factor %g out of range", i, f)
+		}
+	}
+	c2 := Heterogeneous(10, 0.25, 3)
+	for i := range c.Nodes {
+		if c.Nodes[i].Speed != c2.Nodes[i].Speed {
+			t.Fatal("preset not deterministic in seed")
+		}
+	}
+}
+
+func TestComputeTimeWithTrace(t *testing.T) {
+	c := Homogeneous(1)
+	c.Nodes[0].Load = &LoadTrace{Breaks: []float64{0, 1}, Factors: []float64{1, 0.5}}
+	// BaseSpeed units = 1 base-second of work; starting at t=0: 1s at
+	// factor 1 covers it exactly.
+	if got := c.ComputeTime(0, 0, BaseSpeed); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("ComputeTime = %g, want 1", got)
+	}
+	// starting at t=1 (factor 0.5) the same work takes 2s.
+	if got := c.ComputeTime(0, 1, BaseSpeed); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("ComputeTime = %g, want 2", got)
+	}
+}
+
+func TestEffectiveSpeed(t *testing.T) {
+	c := Homogeneous(2)
+	c.Nodes[1].Load = &LoadTrace{Breaks: []float64{0, 10}, Factors: []float64{1, 0.25}}
+	if got := c.EffectiveSpeed(0, 5); got != BaseSpeed {
+		t.Fatalf("node 0 speed %g", got)
+	}
+	if got := c.EffectiveSpeed(1, 15); got != BaseSpeed*0.25 {
+		t.Fatalf("node 1 speed %g", got)
+	}
+}
+
+func TestSiteOrderedMapping(t *testing.T) {
+	c := HeteroGrid15(HeteroGridConfig{Seed: 1})
+	m := SiteOrderedMapping(c)
+	if len(m) != 15 {
+		t.Fatalf("len = %d", len(m))
+	}
+	seen := make(map[int]bool)
+	crossings := 0
+	for i, node := range m {
+		if seen[node] {
+			t.Fatal("mapping must be a permutation")
+		}
+		seen[node] = true
+		if i > 0 && c.Nodes[m[i-1]].Site != c.Nodes[node].Site {
+			crossings++
+		}
+	}
+	// three sites -> exactly two site boundaries in the ordered chain
+	if crossings != 2 {
+		t.Fatalf("ordered chain has %d site crossings, want 2", crossings)
+	}
+}

@@ -1,0 +1,44 @@
+package grid
+
+import "sync"
+
+// Serializer wraps a cluster's delay model with link serialization: each
+// directed (from, to) channel transmits one message at a time, so a message
+// sent while the channel is busy queues behind the earlier ones. This makes
+// network overload expressible — the paper's §6 warns that too-frequent or
+// too-fine-grained balancing "will have the drawback to overload the
+// network", which a pure-latency model cannot show.
+//
+// Transfer time decomposes into serialization (bytes/bandwidth, occupying
+// the channel) plus propagation (latency, pipelined). One Serializer holds
+// the busy state for one execution: create a fresh one per run.
+type Serializer struct {
+	Cluster *Cluster
+
+	mu   sync.Mutex
+	busy map[[2]int]float64 // channel free-at time
+}
+
+// NewSerializer creates a serializer for one execution on the cluster.
+func NewSerializer(c *Cluster) *Serializer {
+	return &Serializer{Cluster: c, busy: make(map[[2]int]float64)}
+}
+
+// Delay implements runenv.Config.Delay with per-channel queuing. It is safe
+// for concurrent use.
+func (s *Serializer) Delay(from, to, bytes int, now float64) float64 {
+	link := s.Cluster.Link(from, to)
+	ser := 0.0
+	if link.Bandwidth > 0 {
+		ser = float64(bytes) / link.Bandwidth
+	}
+	key := [2]int{from, to}
+	s.mu.Lock()
+	start := now
+	if b, ok := s.busy[key]; ok && b > start {
+		start = b
+	}
+	s.busy[key] = start + ser
+	s.mu.Unlock()
+	return (start - now) + ser + link.Latency
+}

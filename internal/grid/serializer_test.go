@@ -1,0 +1,68 @@
+package grid
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSerializerQueuesMessages(t *testing.T) {
+	c := Homogeneous(2)
+	c.Intra = Link{Latency: 0.010, Bandwidth: 1000} // 1 KB/s
+	s := NewSerializer(c)
+	// first message: 500 bytes = 0.5 s serialization + 10 ms latency
+	d1 := s.Delay(0, 1, 500, 0)
+	if math.Abs(d1-0.51) > 1e-12 {
+		t.Fatalf("d1 = %g, want 0.51", d1)
+	}
+	// second message sent at t=0.1 while the channel is busy until 0.5:
+	// waits 0.4, then 0.5 serialization, then latency
+	d2 := s.Delay(0, 1, 500, 0.1)
+	if math.Abs(d2-(0.4+0.5+0.01)) > 1e-12 {
+		t.Fatalf("d2 = %g, want 0.91", d2)
+	}
+	// a message after the channel went idle pays no queueing
+	d3 := s.Delay(0, 1, 500, 5)
+	if math.Abs(d3-0.51) > 1e-12 {
+		t.Fatalf("d3 = %g, want 0.51", d3)
+	}
+	// the reverse channel is independent
+	d4 := s.Delay(1, 0, 500, 0)
+	if math.Abs(d4-0.51) > 1e-12 {
+		t.Fatalf("reverse channel should be free: %g", d4)
+	}
+}
+
+func TestSerializerZeroBandwidth(t *testing.T) {
+	c := Homogeneous(2)
+	c.Intra = Link{Latency: 0.002} // infinite bandwidth
+	s := NewSerializer(c)
+	if d := s.Delay(0, 1, 1<<20, 0); d != 0.002 {
+		t.Fatalf("d = %g", d)
+	}
+	// never queues
+	if d := s.Delay(0, 1, 1<<20, 0); d != 0.002 {
+		t.Fatalf("d = %g", d)
+	}
+}
+
+func TestSerializerConcurrentUse(t *testing.T) {
+	c := Homogeneous(4)
+	c.Intra = Link{Latency: 1e-4, Bandwidth: 1e6}
+	s := NewSerializer(c)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				d := s.Delay(g%4, (g+1)%4, 100, float64(i))
+				if d <= 0 {
+					t.Errorf("non-positive delay %g", d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

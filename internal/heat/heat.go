@@ -1,0 +1,136 @@
+// Package heat implements a 1-D heat equation as a second, linear waveform
+// problem for the parallel iterative engines. The paper stresses (§5) that
+// the AIAC scheme "can be adapted to every iterative processus … linear or
+// non-linear … stationary or not"; this package is the linear/evolution
+// member of that family.
+//
+// The PDE u_t = κ u_xx on (0, 1) with u(0) = u(1) = 0 is semi-discretized
+// on N interior points (c = κ(N+1)²):
+//
+//	u'_i = c (u_{i−1} − 2u_i + u_{i+1})
+//
+// Each component owns one grid point's trajectory; an update integrates the
+// point over the window with implicit Euler using neighbor trajectories from
+// the previous outer iteration. The per-step equation is linear, so the
+// "Newton" solve is a single closed-form division, and every step costs one
+// work unit.
+package heat
+
+import (
+	"fmt"
+	"math"
+
+	"aiac/internal/iterative"
+)
+
+// Params defines a heat-equation instance.
+type Params struct {
+	N     int     // interior grid points
+	Kappa float64 // diffusivity
+	T     float64 // time horizon
+	Dt    float64 // implicit Euler step
+}
+
+// DefaultParams returns a standard configuration.
+func DefaultParams(n int, dt float64) Params {
+	return Params{N: n, Kappa: 0.1, T: 1, Dt: dt}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 1:
+		return fmt.Errorf("heat: N = %d, need >= 1", p.N)
+	case p.Kappa <= 0:
+		return fmt.Errorf("heat: Kappa = %g, need > 0", p.Kappa)
+	case p.T <= 0:
+		return fmt.Errorf("heat: T = %g, need > 0", p.T)
+	case p.Dt <= 0 || p.Dt > p.T:
+		return fmt.Errorf("heat: Dt = %g, need in (0, T]", p.Dt)
+	}
+	return nil
+}
+
+// Steps returns the number of implicit Euler steps.
+func (p Params) Steps() int { return int(math.Round(p.T / p.Dt)) }
+
+// C returns the discrete diffusion coefficient κ(N+1)².
+func (p Params) C() float64 { return p.Kappa * float64(p.N+1) * float64(p.N+1) }
+
+// InitProfile is the initial temperature at interior point i (1-based):
+// a single sine bump, whose exact solution is a pure exponential decay of
+// the first Fourier mode.
+func (p Params) InitProfile(i int) float64 {
+	return math.Sin(math.Pi * float64(i) / float64(p.N+1))
+}
+
+// Problem is the waveform view of the heat equation.
+type Problem struct {
+	p     Params
+	steps int
+	c     float64
+	zero  []float64 // boundary trajectory (identically 0)
+}
+
+// New builds the problem, panicking on invalid parameters.
+func New(p Params) *Problem {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	steps := p.Steps()
+	return &Problem{p: p, steps: steps, c: p.C(), zero: make([]float64, steps+1)}
+}
+
+// Params returns the problem parameters.
+func (pr *Problem) Params() Params { return pr.p }
+
+// Components implements iterative.Problem.
+func (pr *Problem) Components() int { return pr.p.N }
+
+// TrajLen implements iterative.Problem.
+func (pr *Problem) TrajLen() int { return pr.steps + 1 }
+
+// Halo implements iterative.Problem.
+func (pr *Problem) Halo() int { return 1 }
+
+// Init implements iterative.Problem.
+func (pr *Problem) Init(j int) []float64 {
+	out := make([]float64, pr.steps+1)
+	v := pr.p.InitProfile(j + 1)
+	for t := range out {
+		out[t] = v
+	}
+	return out
+}
+
+// Update implements iterative.Problem: implicit Euler on one grid point,
+//
+//	u(t) = (u(t−1) + dt·c·(uL(t) + uR(t))) / (1 + 2·dt·c)
+func (pr *Problem) Update(j int, old []float64, get func(i int) []float64, out []float64) float64 {
+	left := pr.zero
+	if j > 0 {
+		left = get(j - 1)
+	}
+	right := pr.zero
+	if j < pr.p.N-1 {
+		right = get(j + 1)
+	}
+	dtc := pr.p.Dt * pr.c
+	den := 1 + 2*dtc
+	out[0] = old[0]
+	for t := 1; t <= pr.steps; t++ {
+		out[t] = (out[t-1] + dtc*(left[t]+right[t])) / den
+	}
+	return float64(pr.steps)
+}
+
+// ExactFirstMode returns the exact PDE solution for the sine-bump initial
+// profile at interior point i and time t (the semi-discrete system decays
+// with the discrete eigenvalue, which we use for a tight comparison):
+// sin(πx_i)·exp(−λt) with λ = 2c(1 − cos(π/(N+1))).
+func (p Params) ExactFirstMode(i int, t float64) float64 {
+	lambda := 2 * p.C() * (1 - math.Cos(math.Pi/float64(p.N+1)))
+	return p.InitProfile(i) * math.Exp(-lambda*t)
+}
+
+var _ iterative.Problem = (*Problem)(nil)

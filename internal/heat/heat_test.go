@@ -1,0 +1,88 @@
+package heat
+
+import (
+	"math"
+	"testing"
+
+	"aiac/internal/iterative"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams(10, 0.01).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N: 0, Kappa: 1, T: 1, Dt: 0.1},
+		{N: 5, Kappa: 0, T: 1, Dt: 0.1},
+		{N: 5, Kappa: 1, T: 0, Dt: 0.1},
+		{N: 5, Kappa: 1, T: 1, Dt: 2},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestProblemInvariants(t *testing.T) {
+	pr := New(DefaultParams(12, 0.01))
+	if err := iterative.CheckProblem(pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Components() != 12 || pr.Halo() != 1 {
+		t.Fatalf("shape: %d comps halo %d", pr.Components(), pr.Halo())
+	}
+}
+
+func TestWaveformMatchesExactDecay(t *testing.T) {
+	p := DefaultParams(15, 0.0005)
+	pr := New(p)
+	res, err := iterative.SolveSequential(pr, 1e-12, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the sine bump is an eigenvector of the discrete Laplacian: compare
+	// midpoint at final time against the semi-discrete decay (implicit
+	// Euler introduces O(dt) error, hence the small step and loose bound).
+	i := p.N / 2
+	got := res.State[i][pr.steps]
+	want := p.ExactFirstMode(i+1, p.T)
+	if math.Abs(got-want) > 2e-3 {
+		t.Fatalf("u_%d(T) = %g, want %g", i+1, got, want)
+	}
+}
+
+func TestSymmetryPreserved(t *testing.T) {
+	p := DefaultParams(11, 0.01)
+	pr := New(p)
+	res, err := iterative.SolveSequential(pr, 1e-12, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sine bump is symmetric about the midpoint; solution must stay so
+	for j := 0; j < p.N/2; j++ {
+		a := res.State[j][pr.steps]
+		b := res.State[p.N-1-j][pr.steps]
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("symmetry broken at %d: %g vs %g", j, a, b)
+		}
+	}
+}
+
+func TestMonotoneDecay(t *testing.T) {
+	p := DefaultParams(9, 0.01)
+	pr := New(p)
+	res, err := iterative.SolveSequential(pr, 1e-12, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := res.State[p.N/2]
+	for t2 := 1; t2 < len(mid); t2++ {
+		if mid[t2] > mid[t2-1]+1e-12 {
+			t.Fatalf("heat must decay monotonically, rose at step %d", t2)
+		}
+	}
+	if mid[len(mid)-1] < 0 {
+		t.Fatal("temperature went negative")
+	}
+}

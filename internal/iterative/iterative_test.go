@@ -1,0 +1,127 @@
+package iterative
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// linearProblem is the stationary Jacobi iteration for the 1-D Poisson
+// system 2x_i - x_{i-1} - x_{i+1} = b_i with zero Dirichlet boundaries:
+// each component trajectory has length 1 and Update computes
+// x_i = (b_i + x_{i-1} + x_{i+1}) / 2.
+type linearProblem struct {
+	b []float64
+}
+
+func (p *linearProblem) Components() int { return len(p.b) }
+func (p *linearProblem) TrajLen() int    { return 1 }
+func (p *linearProblem) Halo() int       { return 1 }
+func (p *linearProblem) Init(j int) []float64 {
+	return []float64{0}
+}
+func (p *linearProblem) Update(j int, old []float64, get func(i int) []float64, out []float64) float64 {
+	l, r := 0.0, 0.0
+	if j > 0 {
+		l = get(j - 1)[0]
+	}
+	if j < len(p.b)-1 {
+		r = get(j + 1)[0]
+	}
+	out[0] = (p.b[j] + l + r) / 2
+	return 1
+}
+
+func TestSolveSequentialLinear(t *testing.T) {
+	n := 15
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	p := &linearProblem{b: b}
+	res, err := SolveSequential(p, 1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// verify the fixed point solves the tridiagonal system
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = res.State[j][0]
+	}
+	for i := 0; i < n; i++ {
+		r := 2 * x[i]
+		if i > 0 {
+			r -= x[i-1]
+		}
+		if i < n-1 {
+			r -= x[i+1]
+		}
+		if math.Abs(r-1) > 1e-9 {
+			t.Fatalf("row %d residual %g", i, r-1)
+		}
+	}
+	if res.Work != float64(n*res.Iterations) {
+		t.Fatalf("work accounting: %g != %d", res.Work, n*res.Iterations)
+	}
+}
+
+func TestSolveSequentialMaxIter(t *testing.T) {
+	p := &linearProblem{b: []float64{1, 1, 1, 1, 1, 1, 1, 1}}
+	_, err := SolveSequential(p, 1e-12, 3)
+	if !errors.Is(err, ErrMaxIter) {
+		t.Fatalf("expected ErrMaxIter, got %v", err)
+	}
+}
+
+func TestResidual(t *testing.T) {
+	if r := Residual([]float64{1, 2, 3}, []float64{1, 2.5, 3}); r != 0.5 {
+		t.Fatalf("Residual = %g", r)
+	}
+}
+
+func TestCheckProblemAcceptsGood(t *testing.T) {
+	if err := CheckProblem(&linearProblem{b: make([]float64, 5)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// badHalo accesses beyond its declared halo.
+type badHalo struct{ linearProblem }
+
+func (p *badHalo) Halo() int { return 0 }
+
+func TestCheckProblemRejectsHaloViolation(t *testing.T) {
+	p := &badHalo{linearProblem{b: make([]float64, 5)}}
+	if err := CheckProblem(p); err == nil {
+		t.Fatal("expected halo violation")
+	}
+}
+
+// badInit returns a wrong-length initial trajectory.
+type badInit struct{ linearProblem }
+
+func (p *badInit) Init(j int) []float64 { return []float64{0, 0} }
+
+func TestCheckProblemRejectsBadInit(t *testing.T) {
+	p := &badInit{linearProblem{b: make([]float64, 5)}}
+	if err := CheckProblem(p); err == nil {
+		t.Fatal("expected init-length error")
+	}
+}
+
+func TestSolveSequentialValidation(t *testing.T) {
+	p := &linearProblem{b: make([]float64, 4)}
+	for _, fn := range []func(){
+		func() { SolveSequential(p, 0, 10) },
+		func() { SolveSequential(p, 1e-6, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

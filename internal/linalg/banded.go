@@ -1,0 +1,240 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Banded is a square band matrix with kl sub-diagonals and ku
+// super-diagonals, stored in the LAPACK general-band layout with kl extra
+// super-diagonal rows reserved for the fill-in produced by partial pivoting:
+// element A(i,j) lives at row kl+ku+i-j, column j of a (2kl+ku+1)×n array.
+//
+// A freshly built Banded holds the matrix; Factor() overwrites it in place
+// with its LU factorization (like LAPACK dgbtrf), after which Solve may be
+// called repeatedly.
+type Banded struct {
+	N, KL, KU int
+	ab        []float64 // (2*KL+KU+1) rows × N cols, row-major
+	piv       []int
+	factored  bool
+}
+
+// NewBanded returns a zero n×n band matrix with the given bandwidths.
+func NewBanded(n, kl, ku int) *Banded {
+	if n <= 0 || kl < 0 || ku < 0 {
+		panic("linalg: invalid band dimensions")
+	}
+	rows := 2*kl + ku + 1
+	return &Banded{N: n, KL: kl, KU: ku, ab: make([]float64, rows*n)}
+}
+
+// InBand reports whether (i, j) is inside the declared band.
+func (b *Banded) InBand(i, j int) bool {
+	d := i - j
+	return d >= -b.KU && d <= b.KL
+}
+
+func (b *Banded) idx(i, j int) int {
+	return (b.KL+b.KU+i-j)*b.N + j
+}
+
+// At returns A(i, j); out-of-band entries read as zero.
+func (b *Banded) At(i, j int) float64 {
+	if i < 0 || i >= b.N || j < 0 || j >= b.N {
+		panic("linalg: Banded.At out of range")
+	}
+	d := i - j
+	// after factorization the upper band grows to KU+KL
+	if d > b.KL || d < -(b.KU+b.KL) {
+		return 0
+	}
+	return b.ab[b.idx(i, j)]
+}
+
+// Set assigns A(i, j); (i, j) must be inside the declared band.
+func (b *Banded) Set(i, j int, v float64) {
+	if b.factored {
+		panic("linalg: Banded.Set after Factor")
+	}
+	if !b.InBand(i, j) {
+		panic(fmt.Sprintf("linalg: Banded.Set (%d,%d) outside band kl=%d ku=%d", i, j, b.KL, b.KU))
+	}
+	b.ab[b.idx(i, j)] = v
+}
+
+// Zero resets the matrix to all zeros so it can be refilled and refactored.
+func (b *Banded) Zero() {
+	Fill(b.ab, 0)
+	b.factored = false
+	b.piv = b.piv[:0]
+}
+
+// MulVec computes dst = A*x for an unfactored matrix.
+func (b *Banded) MulVec(x, dst []float64) {
+	if b.factored {
+		panic("linalg: Banded.MulVec after Factor")
+	}
+	if len(x) != b.N || len(dst) != b.N {
+		panic("linalg: Banded.MulVec dimension mismatch")
+	}
+	for i := 0; i < b.N; i++ {
+		s := 0.0
+		jlo := i - b.KL
+		if jlo < 0 {
+			jlo = 0
+		}
+		jhi := i + b.KU
+		if jhi > b.N-1 {
+			jhi = b.N - 1
+		}
+		for j := jlo; j <= jhi; j++ {
+			s += b.ab[b.idx(i, j)] * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Factor overwrites the matrix with its LU factorization using partial
+// pivoting (row interchanges limited to the band, as in dgbtf2).
+func (b *Banded) Factor() error {
+	if b.factored {
+		panic("linalg: Banded.Factor called twice")
+	}
+	n, kl, ku := b.N, b.KL, b.KU
+	b.piv = make([]int, n)
+	for j := 0; j < n; j++ {
+		km := kl
+		if n-1-j < km {
+			km = n - 1 - j
+		}
+		// pivot among rows j..j+km (entries A(j+k, j))
+		jp := 0
+		maxAbs := math.Abs(b.ab[b.idx(j, j)])
+		for k := 1; k <= km; k++ {
+			if a := math.Abs(b.ab[b.idx(j+k, j)]); a > maxAbs {
+				maxAbs = a
+				jp = k
+			}
+		}
+		b.piv[j] = j + jp
+		if maxAbs == 0 {
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, j)
+		}
+		// columns touched by this elimination step
+		ju := j + ku + kl
+		if ju > n-1 {
+			ju = n - 1
+		}
+		if jp != 0 {
+			for c := j; c <= ju; c++ {
+				a, bb := b.idx(j, c), b.idx(j+jp, c)
+				b.ab[a], b.ab[bb] = b.ab[bb], b.ab[a]
+			}
+		}
+		if km > 0 {
+			pivot := b.ab[b.idx(j, j)]
+			for k := 1; k <= km; k++ {
+				b.ab[b.idx(j+k, j)] /= pivot
+			}
+			for c := j + 1; c <= ju; c++ {
+				ajc := b.ab[b.idx(j, c)]
+				if ajc == 0 {
+					continue
+				}
+				for k := 1; k <= km; k++ {
+					b.ab[b.idx(j+k, c)] -= b.ab[b.idx(j+k, j)] * ajc
+				}
+			}
+		}
+	}
+	b.factored = true
+	return nil
+}
+
+// Solve solves A*x = rhs in place (rhs becomes x). Factor must have been
+// called. It may be called repeatedly with different right-hand sides.
+func (b *Banded) Solve(rhs []float64) {
+	if !b.factored {
+		panic("linalg: Banded.Solve before Factor")
+	}
+	if len(rhs) != b.N {
+		panic("linalg: Banded.Solve dimension mismatch")
+	}
+	n, kl, ku := b.N, b.KL, b.KU
+	// forward: apply P and L
+	for j := 0; j < n; j++ {
+		if p := b.piv[j]; p != j {
+			rhs[j], rhs[p] = rhs[p], rhs[j]
+		}
+		km := kl
+		if n-1-j < km {
+			km = n - 1 - j
+		}
+		for k := 1; k <= km; k++ {
+			rhs[j+k] -= b.ab[b.idx(j+k, j)] * rhs[j]
+		}
+	}
+	// backward: U (bandwidth ku+kl after fill-in)
+	for j := n - 1; j >= 0; j-- {
+		rhs[j] /= b.ab[b.idx(j, j)]
+		ilo := j - ku - kl
+		if ilo < 0 {
+			ilo = 0
+		}
+		for i := ilo; i < j; i++ {
+			rhs[i] -= b.ab[b.idx(i, j)] * rhs[j]
+		}
+	}
+}
+
+// Dense expands the (unfactored) band matrix into a dense matrix, mainly
+// for tests.
+func (b *Banded) Dense() *Dense {
+	if b.factored {
+		panic("linalg: Banded.Dense after Factor")
+	}
+	d := NewDense(b.N)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			if b.InBand(i, j) {
+				d.Set(i, j, b.ab[b.idx(i, j)])
+			}
+		}
+	}
+	return d
+}
+
+// SolveTridiag solves a tridiagonal system with the Thomas algorithm:
+// sub[i]*x[i-1] + diag[i]*x[i] + sup[i]*x[i+1] = rhs[i]. sub[0] and
+// sup[n-1] are ignored. It returns an error on a zero pivot (the algorithm
+// does not pivot; use Banded for non-dominant systems). Inputs are not
+// modified.
+func SolveTridiag(sub, diag, sup, rhs []float64) ([]float64, error) {
+	n := len(diag)
+	if len(sub) != n || len(sup) != n || len(rhs) != n {
+		panic("linalg: SolveTridiag dimension mismatch")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	c := make([]float64, n)
+	x := make([]float64, n)
+	if diag[0] == 0 {
+		return nil, fmt.Errorf("%w: zero pivot at row 0", ErrSingular)
+	}
+	c[0] = sup[0] / diag[0]
+	x[0] = rhs[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - sub[i]*c[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at row %d", ErrSingular, i)
+		}
+		c[i] = sup[i] / den
+		x[i] = (rhs[i] - sub[i]*x[i-1]) / den
+	}
+	for i := n - 2; i >= 0; i-- {
+		x[i] -= c[i] * x[i+1]
+	}
+	return x, nil
+}

@@ -1,0 +1,163 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets an (exactly or
+// numerically) zero pivot.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Dense is a square row-major matrix.
+type Dense struct {
+	N int
+	A []float64 // len N*N, A[i*N+j]
+}
+
+// NewDense returns an n×n zero matrix.
+func NewDense(n int) *Dense {
+	if n <= 0 {
+		panic("linalg: dense dimension must be positive")
+	}
+	return &Dense{N: n, A: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.A[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.A[i*m.N+j] = v }
+
+// Add increments element (i, j).
+func (m *Dense) Add(i, j int, v float64) { m.A[i*m.N+j] += v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	return &Dense{N: m.N, A: Clone(m.A)}
+}
+
+// MulVec computes dst = M * x. dst and x must have length N and must not
+// alias.
+func (m *Dense) MulVec(x, dst []float64) {
+	if len(x) != m.N || len(dst) != m.N {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		row := m.A[i*m.N : (i+1)*m.N]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// LU is a dense LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorization of m (m is not modified).
+func (m *Dense) Factor() (*LU, error) {
+	n := m.N
+	f := &LU{n: n, lu: Clone(m.A), piv: make([]int, n), sign: 1}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// pivot search in column k, rows k..n-1
+		p := k
+		maxAbs := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > maxAbs {
+				maxAbs = a
+				p = i
+			}
+		}
+		f.piv[k] = p
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rowK := lu[k*n : (k+1)*n]
+			rowP := lu[p*n : (p+1)*n]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i*n+k] / pivot
+			lu[i*n+k] = l
+			if l != 0 {
+				rowI := lu[i*n : (i+1)*n]
+				rowK := lu[k*n : (k+1)*n]
+				for j := k + 1; j < n; j++ {
+					rowI[j] -= l * rowK[j]
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A*x = b into dst (dst may alias b). It can be called any
+// number of times per factorization.
+func (f *LU) Solve(b, dst []float64) {
+	n := f.n
+	if len(b) != n || len(dst) != n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	// Apply ALL row interchanges first: Factor swaps entire rows
+	// (multiplier columns included, LAPACK dgetrf storage), so the stored
+	// L refers to the fully permuted ordering — interleaving swaps with
+	// the forward substitution would read multipliers from the wrong
+	// rows whenever a pivot swap happens after the first column.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			dst[k], dst[p] = dst[p], dst[k]
+		}
+	}
+	// forward-substitute L (unit diagonal)
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			dst[i] -= f.lu[i*n+k] * dst[k]
+		}
+	}
+	// back-substitute U
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		row := f.lu[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * dst[j]
+		}
+		dst[i] = s / row[i]
+	}
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveDense is a convenience one-shot solve of A*x = b.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := a.Factor()
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, a.N)
+	f.Solve(b, x)
+	return x, nil
+}

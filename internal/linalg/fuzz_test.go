@@ -1,0 +1,89 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSolveTridiag checks that on arbitrary diagonally dominant tridiagonal
+// systems the Thomas solver returns a solution with a tiny residual.
+func FuzzSolveTridiag(f *testing.F) {
+	f.Add(int64(1), uint8(8))
+	f.Add(int64(42), uint8(1))
+	f.Add(int64(-7), uint8(100))
+	f.Fuzz(func(t *testing.T, seed int64, size uint8) {
+		n := int(size%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		sub := make([]float64, n)
+		diag := make([]float64, n)
+		sup := make([]float64, n)
+		rhs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sub[i] = rng.NormFloat64()
+			}
+			if i < n-1 {
+				sup[i] = rng.NormFloat64()
+			}
+			diag[i] = math.Abs(sub[i]) + math.Abs(sup[i]) + 1 + rng.Float64()
+			if rng.Intn(2) == 0 {
+				diag[i] = -diag[i]
+			}
+			rhs[i] = rng.NormFloat64()
+		}
+		x, err := SolveTridiag(sub, diag, sup, rhs)
+		if err != nil {
+			t.Fatalf("dominant system rejected: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			r := diag[i] * x[i]
+			if i > 0 {
+				r += sub[i] * x[i-1]
+			}
+			if i < n-1 {
+				r += sup[i] * x[i+1]
+			}
+			if math.Abs(r-rhs[i]) > 1e-8*(1+math.Abs(rhs[i])) {
+				t.Fatalf("row %d residual %g", i, r-rhs[i])
+			}
+		}
+	})
+}
+
+// FuzzBandedFactorSolve checks banded LU on arbitrary dominant band systems.
+func FuzzBandedFactorSolve(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(1), uint8(2))
+	f.Add(int64(9), uint8(40), uint8(2), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, size, klRaw, kuRaw uint8) {
+		n := int(size%60) + 1
+		kl := int(klRaw % 4)
+		ku := int(kuRaw % 4)
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBanded(n, kl, ku)
+		for i := 0; i < n; i++ {
+			row := 0.0
+			for j := 0; j < n; j++ {
+				if i != j && b.InBand(i, j) {
+					v := rng.NormFloat64()
+					b.Set(i, j, v)
+					row += math.Abs(v)
+				}
+			}
+			b.Set(i, i, row+1+rng.Float64())
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		rhs := make([]float64, n)
+		b.MulVec(x, rhs)
+		if err := b.Factor(); err != nil {
+			t.Fatalf("dominant band system rejected: %v", err)
+		}
+		b.Solve(rhs)
+		if MaxAbsDiff(rhs, x) > 1e-8*(1+NormInf(x)) {
+			t.Fatalf("solution error %g", MaxAbsDiff(rhs, x))
+		}
+	})
+}

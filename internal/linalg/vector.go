@@ -1,0 +1,78 @@
+// Package linalg provides the small dense, banded and tridiagonal linear
+// algebra kernels needed by the Newton solvers: LU factorizations with
+// partial pivoting and the usual vector helpers. Everything is plain
+// float64 slices; no external dependencies.
+package linalg
+
+import "math"
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|. The slices must have equal length.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: MaxAbsDiff length mismatch")
+	}
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// NormInf returns max_i |a[i]|.
+func NormInf(a []float64) float64 {
+	m := 0.0
+	for _, v := range a {
+		if d := math.Abs(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Clone returns a copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// Fill sets every element of a to v.
+func Fill(a []float64, v float64) {
+	for i := range a {
+		a[i] = v
+	}
+}

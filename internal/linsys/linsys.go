@@ -1,0 +1,146 @@
+// Package linsys turns any banded, diagonally dominant sparse linear
+// system A·x = b into an iterative.Problem solved by (asynchronous)
+// weighted Jacobi relaxation:
+//
+//	x_i ← (1−ω)·x_i + ω·(b_i − Σ_{j≠i} a_ij x_j) / a_ii
+//
+// Components are the unknowns in their natural order, and the halo is the
+// matrix bandwidth, so the chain decomposition of the engines applies
+// directly. Strict diagonal dominance guarantees the iteration is a
+// max-norm contraction, hence convergent under total asynchronism
+// (Bertsekas–Tsitsiklis); New rejects systems without it unless
+// AllowNonDominant is set.
+package linsys
+
+import (
+	"fmt"
+
+	"aiac/internal/iterative"
+	"aiac/internal/sparse"
+)
+
+// Params configures the solver.
+type Params struct {
+	A *sparse.Matrix
+	B []float64
+	// Omega is the relaxation weight in (0, 1]; 0 means 1 (plain Jacobi).
+	Omega float64
+	// X0 is the initial guess; nil means zero.
+	X0 []float64
+	// AllowNonDominant skips the diagonal-dominance check (asynchronous
+	// convergence is then not guaranteed).
+	AllowNonDominant bool
+}
+
+// Problem is the Jacobi view of the system.
+type Problem struct {
+	p     Params
+	omega float64
+	halo  int
+}
+
+// New builds the problem, validating dominance and shapes.
+func New(p Params) (*Problem, error) {
+	if p.A == nil {
+		return nil, fmt.Errorf("linsys: matrix is required")
+	}
+	n := p.A.N()
+	if len(p.B) != n {
+		return nil, fmt.Errorf("linsys: b has length %d, want %d", len(p.B), n)
+	}
+	if p.X0 != nil && len(p.X0) != n {
+		return nil, fmt.Errorf("linsys: x0 has length %d, want %d", len(p.X0), n)
+	}
+	if p.Omega < 0 || p.Omega > 1 {
+		return nil, fmt.Errorf("linsys: omega = %g, need in (0, 1]", p.Omega)
+	}
+	omega := p.Omega
+	if omega == 0 {
+		omega = 1
+	}
+	for i := 0; i < n; i++ {
+		if p.A.Diag(i) == 0 {
+			return nil, fmt.Errorf("linsys: zero diagonal at row %d", i)
+		}
+	}
+	if !p.AllowNonDominant {
+		if ok, worst := p.A.DiagonallyDominant(); !ok {
+			return nil, fmt.Errorf("linsys: matrix is not strictly diagonally dominant (worst row ratio %.3g); asynchronous convergence is not guaranteed — set AllowNonDominant to proceed anyway", worst)
+		}
+	}
+	halo := p.A.Bandwidth()
+	if halo < 1 {
+		halo = 1 // the engines need at least one
+	}
+	return &Problem{p: p, omega: omega, halo: halo}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(p Params) *Problem {
+	pr, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Components implements iterative.Problem.
+func (pr *Problem) Components() int { return pr.p.A.N() }
+
+// TrajLen implements iterative.Problem: stationary.
+func (pr *Problem) TrajLen() int { return 1 }
+
+// Halo implements iterative.Problem: the matrix bandwidth.
+func (pr *Problem) Halo() int { return pr.halo }
+
+// Init implements iterative.Problem.
+func (pr *Problem) Init(j int) []float64 {
+	if pr.p.X0 != nil {
+		return []float64{pr.p.X0[j]}
+	}
+	return []float64{0}
+}
+
+// Update implements iterative.Problem: one weighted Jacobi relaxation of
+// unknown j.
+func (pr *Problem) Update(j int, old []float64, get func(i int) []float64, out []float64) float64 {
+	cols, vals := pr.p.A.Row(j)
+	s := pr.p.B[j]
+	var diag float64
+	for k, c := range cols {
+		switch {
+		case c == j:
+			diag = vals[k]
+		default:
+			s -= vals[k] * get(c)[0]
+		}
+	}
+	xNew := s / diag
+	out[0] = (1-pr.omega)*old[0] + pr.omega*xNew
+	return float64(len(cols))
+}
+
+// ResidualNorm returns ‖b − A·x‖∞ for a candidate solution (component-major
+// single-value trajectories).
+func (pr *Problem) ResidualNorm(state [][]float64) float64 {
+	n := pr.p.A.N()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = state[i][0]
+	}
+	ax := make([]float64, n)
+	pr.p.A.MulVec(x, ax)
+	worst := 0.0
+	for i := range ax {
+		d := pr.p.B[i] - ax[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+var _ iterative.Problem = (*Problem)(nil)

@@ -1,0 +1,140 @@
+package linsys
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aiac/internal/iterative"
+	"aiac/internal/linalg"
+	"aiac/internal/sparse"
+)
+
+// tridiag builds the (dominant) system 4x_i − x_{i−1} − x_{i+1} = b_i.
+func tridiag(n int, rng *rand.Rand) (*sparse.Matrix, []float64) {
+	b := sparse.NewBuilder(n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		b.Set(i, i, 4)
+		if i > 0 {
+			b.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			b.Set(i, i+1, -1)
+		}
+		rhs[i] = rng.NormFloat64()
+	}
+	return b.Build(), rhs
+}
+
+func TestSolvesAgainstDenseLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 24
+	a, rhs := tridiag(n, rng)
+	pr := MustNew(Params{A: a, B: rhs})
+	res, err := iterative.SolveSequential(pr, 1e-13, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := pr.ResidualNorm(res.State); r > 1e-11 {
+		t.Fatalf("residual %g", r)
+	}
+	// compare against dense LU
+	d := linalg.NewDense(n)
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			d.Set(i, j, vals[k])
+		}
+	}
+	x, err := linalg.SolveDense(d, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(res.State[i][0]-x[i]) > 1e-9 {
+			t.Fatalf("unknown %d: jacobi %g vs LU %g", i, res.State[i][0], x[i])
+		}
+	}
+}
+
+func TestWeightedJacobiConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, rhs := tridiag(16, rng)
+	for _, omega := range []float64{0.5, 0.8, 1.0} {
+		pr := MustNew(Params{A: a, B: rhs, Omega: omega})
+		res, err := iterative.SolveSequential(pr, 1e-12, 500000)
+		if err != nil {
+			t.Fatalf("omega %g: %v", omega, err)
+		}
+		if r := pr.ResidualNorm(res.State); r > 1e-10 {
+			t.Fatalf("omega %g: residual %g", omega, r)
+		}
+	}
+}
+
+func TestInitialGuess(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, rhs := tridiag(8, rng)
+	x0 := make([]float64, 8)
+	for i := range x0 {
+		x0[i] = 1
+	}
+	pr := MustNew(Params{A: a, B: rhs, X0: x0})
+	if pr.Init(3)[0] != 1 {
+		t.Fatal("X0 not honored")
+	}
+}
+
+func TestHaloIsBandwidth(t *testing.T) {
+	b := sparse.NewBuilder(10)
+	for i := 0; i < 10; i++ {
+		b.Set(i, i, 10)
+	}
+	b.Set(0, 2, 1)
+	b.Set(9, 7, 1)
+	rhs := make([]float64, 10)
+	pr := MustNew(Params{A: b.Build(), B: rhs})
+	if pr.Halo() != 2 {
+		t.Fatalf("halo = %d, want 2 (bandwidth)", pr.Halo())
+	}
+	if err := iterative.CheckProblem(pr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsNonDominant(t *testing.T) {
+	b := sparse.NewBuilder(2)
+	b.Set(0, 0, 1)
+	b.Set(0, 1, 2)
+	b.Set(1, 1, 1)
+	if _, err := New(Params{A: b.Build(), B: []float64{1, 1}}); err == nil {
+		t.Fatal("non-dominant system must be rejected")
+	}
+	if _, err := New(Params{A: b.Build(), B: []float64{1, 1}, AllowNonDominant: true}); err != nil {
+		t.Fatalf("AllowNonDominant should permit it: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, rhs := tridiag(4, rng)
+	cases := []Params{
+		{A: nil, B: rhs},
+		{A: a, B: rhs[:2]},
+		{A: a, B: rhs, X0: make([]float64, 3)},
+		{A: a, B: rhs, Omega: 2},
+	}
+	for i, p := range cases {
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// zero diagonal
+	zb := sparse.NewBuilder(2)
+	zb.Set(0, 1, 1)
+	zb.Set(1, 1, 1)
+	if _, err := New(Params{A: zb.Build(), B: []float64{1, 1}, AllowNonDominant: true}); err == nil {
+		t.Error("zero diagonal should fail")
+	}
+}

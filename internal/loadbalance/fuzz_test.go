@@ -1,0 +1,72 @@
+package loadbalance
+
+import "testing"
+
+// FuzzAmountToSend checks the policy's invariants on arbitrary inputs:
+// never negative, never violates the famine guard, never fires below the
+// threshold ratio, and the disabled policy never transfers.
+func FuzzAmountToSend(f *testing.F) {
+	f.Add(10.0, 1.0, 100, 20, 2.0, 0.5, 4)
+	f.Add(0.0, 0.0, 1, 1, 1.5, 1.0, 1)
+	f.Add(1e300, 1e-300, 500, 5, 3.0, 0.25, 8)
+	f.Fuzz(func(t *testing.T, my, other float64, local, period int, thr, lambda float64, minKeep int) {
+		p := Policy{
+			Enabled:        true,
+			Period:         clampInt(period, 1, 1000),
+			ThresholdRatio: clampF(thr, 1.0001, 100),
+			MinKeep:        clampInt(minKeep, 1, 1000),
+			Lambda:         clampF(lambda, 0.001, 1),
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("clamped policy invalid: %v", err)
+		}
+		my, other = absF(my), absF(other)
+		local = clampInt(local, 0, 1<<20)
+		n := p.AmountToSend(my, other, local)
+		if n < 0 {
+			t.Fatalf("negative transfer %d", n)
+		}
+		if n > 0 {
+			if local-n < p.MinKeep {
+				t.Fatalf("famine guard violated: local %d sent %d keep %d", local, n, p.MinKeep)
+			}
+			if !(loadRatio(my, other) > p.ThresholdRatio) {
+				t.Fatalf("fired below threshold: %g/%g thr %g", my, other, p.ThresholdRatio)
+			}
+		}
+		disabled := Policy{}
+		if disabled.AmountToSend(my, other, local) != 0 {
+			t.Fatal("disabled policy transferred")
+		}
+	})
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v != v || v < lo { // NaN or below
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absF(v float64) float64 {
+	if v != v { // NaN
+		return 0
+	}
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,275 @@
+package loadbalance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Graph is an undirected neighborhood graph over nodes 0..N-1, as induced
+// by the communication dependencies of a distributed iterative algorithm
+// ("two nodes are neighbors if they have to exchange data to perform their
+// job").
+type Graph struct {
+	N   int
+	Adj [][]int
+}
+
+// Chain returns the linear chain 0–1–…–(n−1), the topology of the paper's
+// solver.
+func Chain(n int) *Graph {
+	g := &Graph{N: n, Adj: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			g.Adj[i] = append(g.Adj[i], i-1)
+		}
+		if i < n-1 {
+			g.Adj[i] = append(g.Adj[i], i+1)
+		}
+	}
+	return g
+}
+
+// Ring returns the cycle graph on n nodes.
+func Ring(n int) *Graph {
+	g := &Graph{N: n, Adj: make([][]int, n)}
+	if n == 1 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.Adj[i] = append(g.Adj[i], (i+n-1)%n, (i+1)%n)
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	g := &Graph{N: n, Adj: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		for b := 0; b < d; b++ {
+			g.Adj[i] = append(g.Adj[i], i^(1<<b))
+		}
+	}
+	return g
+}
+
+// RandomConnected returns a random connected graph: a random spanning tree
+// plus extra random edges with the given probability.
+func RandomConnected(n int, extraProb float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{N: n, Adj: make([][]int, n)}
+	has := make(map[[2]int]bool)
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if has[[2]int{a, b}] {
+			return
+		}
+		has[[2]int{a, b}] = true
+		g.Adj[a] = append(g.Adj[a], b)
+		g.Adj[b] = append(g.Adj[b], a)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		addEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < extraProb {
+				addEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+// MaxDegree returns the largest node degree.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, a := range g.Adj {
+		if len(a) > d {
+			d = len(a)
+		}
+	}
+	return d
+}
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	if g.N == 0 {
+		return true
+	}
+	seen := make([]bool, g.N)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.N
+}
+
+// Imbalance returns max(load) − min(load).
+func Imbalance(load []float64) float64 {
+	if len(load) == 0 {
+		return 0
+	}
+	lo, hi := load[0], load[0]
+	for _, v := range load {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// Total returns the sum of the loads (conserved by every algorithm here).
+func Total(load []float64) float64 {
+	s := 0.0
+	for _, v := range load {
+		s += v
+	}
+	return s
+}
+
+// Diffusion runs Cybenko's synchronous diffusion: every sweep, each node
+// exchanges alpha·(x_j − x_i) with every neighbor simultaneously. It stops
+// after `sweeps` sweeps or when the imbalance drops below eps, returning
+// the final loads and the number of sweeps used. alpha must satisfy
+// 0 < alpha ≤ 1/(maxDegree+1) for guaranteed convergence on any graph.
+func Diffusion(g *Graph, load []float64, alpha, eps float64, sweeps int) ([]float64, int) {
+	if len(load) != g.N {
+		panic("loadbalance: Diffusion load length mismatch")
+	}
+	if alpha <= 0 {
+		panic("loadbalance: Diffusion needs alpha > 0")
+	}
+	x := append([]float64(nil), load...)
+	next := make([]float64, g.N)
+	for s := 1; s <= sweeps; s++ {
+		for i := 0; i < g.N; i++ {
+			v := x[i]
+			for _, j := range g.Adj[i] {
+				v += alpha * (x[j] - x[i])
+			}
+			next[i] = v
+		}
+		x, next = next, x
+		if Imbalance(x) < eps {
+			return x, s
+		}
+	}
+	return x, sweeps
+}
+
+// DimensionExchange runs the hypercube dimension-exchange algorithm: in
+// round b every node averages its load with its neighbor along dimension
+// b. For continuous loads the result is exactly uniform after d rounds.
+// The graph must be a d-dimensional hypercube (n = 2^d).
+func DimensionExchange(d int, load []float64) []float64 {
+	n := 1 << d
+	if len(load) != n {
+		panic(fmt.Sprintf("loadbalance: DimensionExchange needs 2^%d = %d loads, got %d", d, n, len(load)))
+	}
+	x := append([]float64(nil), load...)
+	for b := 0; b < d; b++ {
+		for i := 0; i < n; i++ {
+			j := i ^ (1 << b)
+			if i < j {
+				avg := (x[i] + x[j]) / 2
+				x[i], x[j] = avg, avg
+			}
+		}
+	}
+	return x
+}
+
+// AllLighterNeighbors simulates the general Bertsekas–Tsitsiklis model
+// (§3: "it distributes a part of its load to all these processors"): an
+// activated node splits lambda/2 of its excess over every neighbor lighter
+// than itself by more than the threshold ratio, proportionally to each
+// deficit. The paper chose the single-lightest variant instead
+// (LightestNeighbor) because it needs only one local exchange per attempt.
+func AllLighterNeighbors(g *Graph, load []float64, thresholdRatio, lambda float64, rounds int, seed int64) []float64 {
+	if len(load) != g.N {
+		panic("loadbalance: AllLighterNeighbors load length mismatch")
+	}
+	if thresholdRatio <= 1 || lambda <= 0 || lambda > 1 {
+		panic("loadbalance: AllLighterNeighbors needs thresholdRatio > 1 and lambda in (0,1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := append([]float64(nil), load...)
+	for r := 0; r < rounds; r++ {
+		for _, i := range rng.Perm(g.N) {
+			var lighter []int
+			deficit := 0.0
+			for _, j := range g.Adj[i] {
+				if loadRatio(x[i], x[j]) > thresholdRatio {
+					lighter = append(lighter, j)
+					deficit += x[i] - x[j]
+				}
+			}
+			if len(lighter) == 0 || deficit <= 0 {
+				continue
+			}
+			budget := lambda * deficit / 2 / float64(len(lighter)+1)
+			for _, j := range lighter {
+				move := budget * (x[i] - x[j]) / deficit * float64(len(lighter))
+				if move > 0 {
+					x[i] -= move
+					x[j] += move
+				}
+			}
+		}
+	}
+	return x
+}
+
+// LightestNeighbor simulates the Bertsekas–Tsitsiklis "send to the single
+// lightest-loaded neighbor" scheme on an abstract load graph: nodes are
+// activated in a random order each round; an activated node whose load
+// exceeds its lightest neighbor's by more than thresholdRatio ships
+// lambda/2 of the difference to that neighbor. Loads are continuous here
+// (the engine's discrete component version lives in internal/engine).
+// It returns the loads after `rounds` rounds.
+func LightestNeighbor(g *Graph, load []float64, thresholdRatio, lambda float64, rounds int, seed int64) []float64 {
+	if len(load) != g.N {
+		panic("loadbalance: LightestNeighbor load length mismatch")
+	}
+	if thresholdRatio <= 1 || lambda <= 0 || lambda > 1 {
+		panic("loadbalance: LightestNeighbor needs thresholdRatio > 1 and lambda in (0,1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := append([]float64(nil), load...)
+	for r := 0; r < rounds; r++ {
+		for _, i := range rng.Perm(g.N) {
+			if len(g.Adj[i]) == 0 {
+				continue
+			}
+			best := g.Adj[i][0]
+			for _, j := range g.Adj[i][1:] {
+				if x[j] < x[best] {
+					best = j
+				}
+			}
+			if loadRatio(x[i], x[best]) > thresholdRatio {
+				move := lambda * (x[i] - x[best]) / 2
+				x[i] -= move
+				x[best] += move
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,328 @@
+package loadbalance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Policy{}).Validate(); err != nil {
+		t.Fatalf("disabled policy must validate: %v", err)
+	}
+	bad := []Policy{
+		{Enabled: true, Period: 0, ThresholdRatio: 2, MinKeep: 1, Lambda: 0.5},
+		{Enabled: true, Period: 10, ThresholdRatio: 1, MinKeep: 1, Lambda: 0.5},
+		{Enabled: true, Period: 10, ThresholdRatio: 2, MinKeep: 0, Lambda: 0.5},
+		{Enabled: true, Period: 10, ThresholdRatio: 2, MinKeep: 1, Lambda: 0},
+		{Enabled: true, Period: 10, ThresholdRatio: 2, MinKeep: 1, Lambda: 1.5},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d should fail: %+v", i, p)
+		}
+	}
+}
+
+func TestAmountToSendBasics(t *testing.T) {
+	p := DefaultPolicy() // ratio 2, minkeep 4, lambda 0.5
+	if n := p.AmountToSend(1, 1, 100); n != 0 {
+		t.Fatalf("balanced loads should not transfer, got %d", n)
+	}
+	if n := p.AmountToSend(1, 10, 100); n != 0 {
+		t.Fatalf("lighter node should not send, got %d", n)
+	}
+	n := p.AmountToSend(10, 1, 100)
+	if n <= 0 {
+		t.Fatal("10x imbalance must transfer")
+	}
+	// λ·100·(10−1)/(10+1) = 40.9 → 40
+	if n != 40 {
+		t.Fatalf("AmountToSend = %d, want 40", n)
+	}
+}
+
+func TestAmountToSendFamineGuard(t *testing.T) {
+	p := DefaultPolicy()
+	// 6 local, minkeep 4: can ship at most 2
+	if n := p.AmountToSend(100, 1, 6); n > 2 {
+		t.Fatalf("famine guard violated: %d", n)
+	}
+	if n := p.AmountToSend(100, 1, 4); n != 0 {
+		t.Fatalf("at MinKeep nothing may leave, got %d", n)
+	}
+	if n := p.AmountToSend(100, 1, 3); n != 0 {
+		t.Fatalf("below MinKeep nothing may leave, got %d", n)
+	}
+}
+
+func TestAmountToSendZeroLoads(t *testing.T) {
+	p := DefaultPolicy()
+	if n := p.AmountToSend(0, 0, 50); n != 0 {
+		t.Fatalf("zero loads are balanced, got %d", n)
+	}
+	if n := p.AmountToSend(5, 0, 50); n <= 0 {
+		t.Fatal("positive vs zero load must transfer")
+	}
+}
+
+func TestAmountToSendDisabled(t *testing.T) {
+	p := Policy{}
+	if n := p.AmountToSend(100, 1, 100); n != 0 {
+		t.Fatalf("disabled policy transferred %d", n)
+	}
+}
+
+func TestAmountToSendProperty(t *testing.T) {
+	p := DefaultPolicy()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		my := rng.Float64() * 100
+		other := rng.Float64() * 100
+		local := 1 + rng.Intn(500)
+		n := p.AmountToSend(my, other, local)
+		if n < 0 {
+			return false
+		}
+		if n > 0 && local-n < p.MinKeep {
+			return false // famine guard
+		}
+		if n > 0 && my <= p.ThresholdRatio*other {
+			return false // must only fire above the threshold
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorString(t *testing.T) {
+	for _, e := range []Estimator{EstimatorResidual, EstimatorIterTime, EstimatorCount, Estimator(9)} {
+		if e.String() == "" {
+			t.Fatal("empty estimator name")
+		}
+	}
+}
+
+func TestGraphBuilders(t *testing.T) {
+	c := Chain(5)
+	if len(c.Adj[0]) != 1 || len(c.Adj[2]) != 2 || len(c.Adj[4]) != 1 {
+		t.Fatalf("chain adjacency wrong: %v", c.Adj)
+	}
+	r := Ring(5)
+	for i := 0; i < 5; i++ {
+		if len(r.Adj[i]) != 2 {
+			t.Fatalf("ring degree at %d: %d", i, len(r.Adj[i]))
+		}
+	}
+	h := Hypercube(3)
+	if h.N != 8 || h.MaxDegree() != 3 {
+		t.Fatalf("hypercube(3): n=%d deg=%d", h.N, h.MaxDegree())
+	}
+	if !c.Connected() || !r.Connected() || !h.Connected() {
+		t.Fatal("builders must produce connected graphs")
+	}
+	g := &Graph{N: 4, Adj: [][]int{{1}, {0}, {3}, {2}}}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := RandomConnected(20, 0.1, seed)
+		if !g.Connected() {
+			t.Fatalf("seed %d: not connected", seed)
+		}
+	}
+	// deterministic in seed
+	a := RandomConnected(10, 0.2, 42)
+	b := RandomConnected(10, 0.2, 42)
+	for i := range a.Adj {
+		if len(a.Adj[i]) != len(b.Adj[i]) {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestDiffusionConvergesToUniform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(4+rng.Intn(20), 0.15, seed)
+		load := make([]float64, g.N)
+		for i := range load {
+			load[i] = rng.Float64() * 100
+		}
+		total := Total(load)
+		alpha := 1 / float64(g.MaxDegree()+1)
+		out, _ := Diffusion(g, load, alpha, 1e-9, 100000)
+		if math.Abs(Total(out)-total) > 1e-6 {
+			return false // conservation
+		}
+		return Imbalance(out) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffusionEarlyStop(t *testing.T) {
+	g := Chain(4)
+	load := []float64{10, 10, 10, 10}
+	_, sweeps := Diffusion(g, load, 0.25, 1e-12, 1000)
+	if sweeps != 1 {
+		t.Fatalf("already balanced load took %d sweeps", sweeps)
+	}
+}
+
+func TestDimensionExchangeExactUniform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(6)
+		load := make([]float64, 1<<d)
+		for i := range load {
+			load[i] = rng.Float64() * 100
+		}
+		total := Total(load)
+		out := DimensionExchange(d, load)
+		if math.Abs(Total(out)-total) > 1e-9*(1+total) {
+			return false
+		}
+		mean := total / float64(len(load))
+		for _, v := range out {
+			if math.Abs(v-mean) > 1e-9*(1+mean) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLightestNeighborReducesImbalance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(4+rng.Intn(16), 0.2, seed)
+		load := make([]float64, g.N)
+		for i := range load {
+			load[i] = 1 + rng.Float64()*99
+		}
+		total := Total(load)
+		before := Imbalance(load)
+		out := LightestNeighbor(g, load, 1.5, 1.0, 200, seed)
+		if math.Abs(Total(out)-total) > 1e-6 {
+			return false // conservation
+		}
+		after := Imbalance(out)
+		// BT guarantees bounded imbalance, not exact uniformity: loads
+		// must end within the threshold ratio across every edge.
+		for i := 0; i < g.N; i++ {
+			for _, j := range g.Adj[i] {
+				if loadRatio(out[i], out[j]) > 1.5+1e-9 {
+					return false
+				}
+			}
+		}
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImbalanceAndTotal(t *testing.T) {
+	if Imbalance(nil) != 0 || Total(nil) != 0 {
+		t.Fatal("empty load edge cases")
+	}
+	if Imbalance([]float64{3, 1, 7}) != 6 {
+		t.Fatal("imbalance")
+	}
+	if Total([]float64{3, 1, 7}) != 11 {
+		t.Fatal("total")
+	}
+}
+
+func TestLoadRatio(t *testing.T) {
+	if loadRatio(0, 0) != 1 {
+		t.Fatal("0/0 should be 1")
+	}
+	if !math.IsInf(loadRatio(1, 0), 1) {
+		t.Fatal("x/0 should be +inf")
+	}
+	if loadRatio(6, 3) != 2 {
+		t.Fatal("6/3")
+	}
+}
+
+func TestSmoothingValidation(t *testing.T) {
+	p := DefaultPolicy()
+	p.Smoothing = 0.3
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Smoothing = -0.1
+	if p.Validate() == nil {
+		t.Fatal("negative smoothing should fail")
+	}
+	p.Smoothing = 1.5
+	if p.Validate() == nil {
+		t.Fatal("smoothing > 1 should fail")
+	}
+}
+
+func TestSmoothingFactor(t *testing.T) {
+	p := Policy{}
+	if p.SmoothingFactor() != 1 {
+		t.Fatal("zero smoothing must normalize to 1 (no smoothing)")
+	}
+	p.Smoothing = 0.25
+	if p.SmoothingFactor() != 0.25 {
+		t.Fatal("explicit smoothing must pass through")
+	}
+}
+
+func TestAllLighterNeighborsReducesImbalance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(4+rng.Intn(16), 0.2, seed)
+		load := make([]float64, g.N)
+		for i := range load {
+			load[i] = 1 + rng.Float64()*99
+		}
+		total := Total(load)
+		before := Imbalance(load)
+		out := AllLighterNeighbors(g, load, 1.5, 1.0, 200, seed)
+		if math.Abs(Total(out)-total) > 1e-6 {
+			return false // conservation
+		}
+		return Imbalance(out) <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllLighterNeighborsValidation(t *testing.T) {
+	g := Chain(3)
+	for _, fn := range []func(){
+		func() { AllLighterNeighbors(g, []float64{1, 2}, 1.5, 0.5, 1, 0) },
+		func() { AllLighterNeighbors(g, []float64{1, 2, 3}, 1.0, 0.5, 1, 0) },
+		func() { AllLighterNeighbors(g, []float64{1, 2, 3}, 1.5, 0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,167 @@
+// Package loadbalance implements the dynamic load-balancing machinery of
+// the paper.
+//
+// Two layers live here:
+//
+//   - Policy/Estimator: the decision logic of Algorithm 5 — a node
+//     periodically compares its load estimate against a neighbor's, and if
+//     the ratio exceeds a threshold it ships part of its components to its
+//     lightest-loaded neighbor, subject to a famine guard. This is the
+//     Bertsekas–Tsitsiklis asynchronous model in the "single lightest
+//     neighbor" variant the paper selected (§3, §5.2). The load estimator
+//     is pluggable; the paper argues for the local residual.
+//
+//   - Classical iterative balancing algorithms on abstract load graphs
+//     (Cybenko's diffusion, dimension exchange, and a synchronous
+//     lightest-neighbor simulation), used as baselines and for property
+//     tests: they are synchronous and therefore *not* suitable for AIAC,
+//     which is exactly the argument of §3.
+package loadbalance
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimator selects the load measure a node reports to its neighbors.
+type Estimator int
+
+const (
+	// EstimatorResidual uses the local residual: a node whose components
+	// barely move is "useless" and should receive more work (the paper's
+	// choice, argued in §2 and §5.2).
+	EstimatorResidual Estimator = iota
+	// EstimatorIterTime uses the duration of the last iteration — the
+	// "obvious" estimator the paper argues against: it equalizes wall
+	// time but ignores whether the computed work is useful.
+	EstimatorIterTime
+	// EstimatorCount uses the plain number of local components.
+	EstimatorCount
+)
+
+// String returns the estimator's name.
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorResidual:
+		return "residual"
+	case EstimatorIterTime:
+		return "itertime"
+	case EstimatorCount:
+		return "count"
+	default:
+		return fmt.Sprintf("estimator(%d)", int(e))
+	}
+}
+
+// Policy is the decision logic of the paper's Algorithm 5 plus its §6
+// tuning knobs.
+type Policy struct {
+	// Enabled turns balancing on; a zero Policy is "no balancing".
+	Enabled bool
+	// Period is how many iterations to wait between balancing attempts
+	// (the paper's OkToTryLB counter, reset to 20).
+	Period int
+	// ThresholdRatio is the load ratio beyond which a transfer triggers.
+	ThresholdRatio float64
+	// MinKeep is the famine guard (the paper's ThresholdData): a node
+	// never lets its component count drop below this.
+	MinKeep int
+	// Lambda scales how much of the imbalance one transfer ships
+	// (the "accuracy" knob of §6: coarse vs fine balancing).
+	Lambda float64
+	// Estimator selects the load measure.
+	Estimator Estimator
+	// Smoothing, in (0, 1], exponentially averages the load estimate
+	// across iterations: est ← Smoothing·raw + (1−Smoothing)·est. The
+	// residual fluctuates strongly from one iteration to the next, which
+	// makes raw ratio tests thrash (transfers in both directions that the
+	// crossing guard then rejects); smoothing damps that. 1 (or 0, the
+	// default, which normalizes to 1) means no smoothing — the paper's
+	// literal behavior.
+	Smoothing float64
+}
+
+// DefaultPolicy returns the paper's configuration: residual estimator,
+// period 20, and moderate transfer aggressiveness.
+func DefaultPolicy() Policy {
+	return Policy{
+		Enabled:        true,
+		Period:         20,
+		ThresholdRatio: 2,
+		MinKeep:        4,
+		Lambda:         0.5,
+		Estimator:      EstimatorResidual,
+	}
+}
+
+// Validate checks policy sanity (a disabled policy is always valid).
+func (p Policy) Validate() error {
+	if !p.Enabled {
+		return nil
+	}
+	switch {
+	case p.Period < 1:
+		return fmt.Errorf("loadbalance: Period = %d, need >= 1", p.Period)
+	case p.ThresholdRatio <= 1:
+		return fmt.Errorf("loadbalance: ThresholdRatio = %g, need > 1", p.ThresholdRatio)
+	case p.MinKeep < 1:
+		return fmt.Errorf("loadbalance: MinKeep = %d, need >= 1", p.MinKeep)
+	case p.Lambda <= 0 || p.Lambda > 1:
+		return fmt.Errorf("loadbalance: Lambda = %g, need in (0, 1]", p.Lambda)
+	case p.Smoothing < 0 || p.Smoothing > 1:
+		return fmt.Errorf("loadbalance: Smoothing = %g, need in [0, 1]", p.Smoothing)
+	}
+	return nil
+}
+
+// SmoothingFactor returns the effective EWMA coefficient (0 normalizes
+// to 1, i.e. no smoothing).
+func (p Policy) SmoothingFactor() float64 {
+	if p.Smoothing == 0 {
+		return 1
+	}
+	return p.Smoothing
+}
+
+// AmountToSend implements the core of TryLeftLB/TryRightLB: given this
+// node's and a neighbor's load estimates and the local component count, it
+// returns how many components to ship to that neighbor (0 = no transfer).
+//
+// The transfer size is Lambda·nbLocal·(ratio−1)/(ratio+1), a fraction of
+// the components proportional to the normalized imbalance — the paper
+// leaves the formula unspecified ("Compute the number of data to send");
+// this choice ships half the normalized excess at Lambda = 1 and is
+// clamped by the MinKeep famine guard.
+func (p Policy) AmountToSend(myLoad, otherLoad float64, nbLocal int) int {
+	if !p.Enabled || nbLocal <= p.MinKeep {
+		return 0
+	}
+	ratio := loadRatio(myLoad, otherLoad)
+	if ratio <= p.ThresholdRatio {
+		return 0
+	}
+	n := int(p.Lambda * float64(nbLocal) * (ratio - 1) / (ratio + 1))
+	if n < 1 {
+		n = 1 // the threshold test passed: ship at least one component
+	}
+	if nbLocal-n < p.MinKeep {
+		n = nbLocal - p.MinKeep
+	}
+	if n < 1 {
+		return 0
+	}
+	return n
+}
+
+// loadRatio computes myLoad/otherLoad with the degenerate cases pinned
+// down: equal zero loads are balanced (ratio 1); a positive load against a
+// zero load is infinitely imbalanced.
+func loadRatio(myLoad, otherLoad float64) float64 {
+	if otherLoad <= 0 {
+		if myLoad <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return myLoad / otherLoad
+}

@@ -1,0 +1,169 @@
+// Package nldiffusion implements a nonlinear stationary problem — the 1-D
+// quasi-linear diffusion equation −d/dx(k(u)·du/dx) = f with
+// solution-dependent conductivity k(u) = 1 + u² — solved by asynchronous
+// nonlinear Jacobi relaxation: each point update is a scalar Newton solve
+// of its own discrete equation with the neighbors frozen.
+//
+// This is the fourth problem family of the repository (after the nonlinear
+// evolution Brusselator, the linear evolution heat equation and the linear
+// stationary Poisson problems), in the spirit of the asynchronous nonlinear
+// network-flow relaxations the paper cites ([4], El Baz et al.): nonlinear,
+// stationary, contraction-based, and therefore convergent under total
+// asynchronism.
+package nldiffusion
+
+import (
+	"fmt"
+	"math"
+
+	"aiac/internal/iterative"
+	"aiac/internal/solver"
+)
+
+// Params defines an instance on N interior points of (0, 1) with zero
+// Dirichlet boundaries.
+type Params struct {
+	N int
+	// F is the forcing at interior point i (1-based); nil means the
+	// manufactured forcing for which u(x) = x(1−x) is close to the
+	// discrete solution (second-order accurate).
+	F func(i int) float64
+	// NewtonTol and MaxNewton control the per-point scalar Newton solves.
+	NewtonTol float64
+	MaxNewton int
+}
+
+// DefaultParams returns a standard configuration with the manufactured
+// forcing.
+func DefaultParams(n int) Params {
+	return Params{N: n, NewtonTol: 1e-12, MaxNewton: 40}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 1:
+		return fmt.Errorf("nldiffusion: N = %d, need >= 1", p.N)
+	case p.NewtonTol <= 0:
+		return fmt.Errorf("nldiffusion: NewtonTol = %g, need > 0", p.NewtonTol)
+	case p.MaxNewton < 1:
+		return fmt.Errorf("nldiffusion: MaxNewton = %d, need >= 1", p.MaxNewton)
+	}
+	return nil
+}
+
+// k is the conductivity.
+func k(u float64) float64 { return 1 + u*u }
+
+// dk is dk/du.
+func dk(u float64) float64 { return 2 * u }
+
+// Exact is the manufactured solution used by the default forcing.
+func Exact(x float64) float64 { return x * (1 - x) }
+
+// manufacturedF returns −d/dx(k(u)u′) for u = x(1−x):
+// u′ = 1−2x, u″ = −2, so f = −(k(u)·u″ + k′(u)·u′²) = 2k(u) − 2u·u′².
+func manufacturedF(x float64) float64 {
+	u := Exact(x)
+	up := 1 - 2*x
+	return 2*k(u) - dk(u)*up*up
+}
+
+// Problem is the asynchronous nonlinear Jacobi view.
+type Problem struct {
+	p   Params
+	rhs []float64 // h²·f per interior point
+	h   float64
+}
+
+// New builds the problem, panicking on invalid parameters.
+func New(p Params) *Problem {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	h := 1 / float64(p.N+1)
+	f := p.F
+	if f == nil {
+		f = func(i int) float64 { return manufacturedF(float64(i) * h) }
+	}
+	rhs := make([]float64, p.N)
+	for i := range rhs {
+		rhs[i] = h * h * f(i+1)
+	}
+	return &Problem{p: p, rhs: rhs, h: h}
+}
+
+// Params returns the problem parameters.
+func (pr *Problem) Params() Params { return pr.p }
+
+// Components implements iterative.Problem.
+func (pr *Problem) Components() int { return pr.p.N }
+
+// TrajLen implements iterative.Problem: stationary.
+func (pr *Problem) TrajLen() int { return 1 }
+
+// Halo implements iterative.Problem.
+func (pr *Problem) Halo() int { return 1 }
+
+// Init implements iterative.Problem.
+func (pr *Problem) Init(j int) []float64 { return []float64{0} }
+
+// residualAt evaluates the discrete equation at point j for value u with
+// neighbors l, r, using the standard conservative flux discretization with
+// midpoint conductivities:
+//
+//	F(u) = k((u+l)/2)(u−l) + k((u+r)/2)(u−r) − h²f_j
+func residualAt(rhs, u, l, r float64) (f, df float64) {
+	kl := k((u + l) / 2)
+	kr := k((u + r) / 2)
+	f = kl*(u-l) + kr*(u-r) - rhs
+	df = kl + kr + dk((u+l)/2)*(u-l)/2 + dk((u+r)/2)*(u-r)/2
+	return f, df
+}
+
+// Update implements iterative.Problem: one nonlinear Jacobi relaxation of
+// point j (scalar Newton on its own equation with neighbors frozen).
+func (pr *Problem) Update(j int, old []float64, get func(i int) []float64, out []float64) float64 {
+	l, r := 0.0, 0.0
+	if j > 0 {
+		l = get(j - 1)[0]
+	}
+	if j < pr.p.N-1 {
+		r = get(j + 1)[0]
+	}
+	rhs := pr.rhs[j]
+	g := func(u float64) (float64, float64) { return residualAt(rhs, u, l, r) }
+	x, iters, err := solver.NewtonScalar(g, old[0], pr.p.NewtonTol, pr.p.MaxNewton)
+	if err != nil {
+		// fall back to a bisection-safe start; the residual is monotone
+		// increasing in u for this k, so 0 is a safe restart
+		x, iters, err = solver.NewtonScalar(g, 0, pr.p.NewtonTol, pr.p.MaxNewton)
+		if err != nil {
+			panic(fmt.Sprintf("nldiffusion: Newton failed at point %d: %v", j, err))
+		}
+	}
+	out[0] = x
+	return float64(iters)
+}
+
+// ResidualNorm returns the max-norm of the discrete nonlinear residual of a
+// candidate solution.
+func (pr *Problem) ResidualNorm(state [][]float64) float64 {
+	worst := 0.0
+	for j := 0; j < pr.p.N; j++ {
+		l, r := 0.0, 0.0
+		if j > 0 {
+			l = state[j-1][0]
+		}
+		if j < pr.p.N-1 {
+			r = state[j+1][0]
+		}
+		f, _ := residualAt(pr.rhs[j], state[j][0], l, r)
+		if d := math.Abs(f); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+var _ iterative.Problem = (*Problem)(nil)

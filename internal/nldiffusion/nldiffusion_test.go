@@ -1,0 +1,112 @@
+package nldiffusion
+
+import (
+	"math"
+	"testing"
+
+	"aiac/internal/iterative"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams(10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N: 0, NewtonTol: 1e-10, MaxNewton: 10},
+		{N: 5, NewtonTol: 0, MaxNewton: 10},
+		{N: 5, NewtonTol: 1e-10, MaxNewton: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestProblemInvariants(t *testing.T) {
+	pr := New(DefaultParams(9))
+	if err := iterative.CheckProblem(pr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolvesManufactured(t *testing.T) {
+	p := DefaultParams(31)
+	pr := New(p)
+	res, err := iterative.SolveSequential(pr, 1e-12, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := pr.ResidualNorm(res.State); r > 1e-10 {
+		t.Fatalf("nonlinear residual %g", r)
+	}
+	h := 1 / float64(p.N+1)
+	worst := 0.0
+	for j := 0; j < p.N; j++ {
+		x := float64(j+1) * h
+		worst = math.Max(worst, math.Abs(res.State[j][0]-Exact(x)))
+	}
+	// second-order discretization of a smooth problem
+	if worst > 5*h*h {
+		t.Fatalf("error %g exceeds O(h²) bound %g", worst, 5*h*h)
+	}
+}
+
+func TestSecondOrderConvergence(t *testing.T) {
+	errAt := func(n int) float64 {
+		p := DefaultParams(n)
+		pr := New(p)
+		res, err := iterative.SolveSequential(pr, 1e-13, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := 1 / float64(n+1)
+		worst := 0.0
+		for j := 0; j < n; j++ {
+			worst = math.Max(worst, math.Abs(res.State[j][0]-Exact(float64(j+1)*h)))
+		}
+		return worst
+	}
+	e1 := errAt(15)
+	e2 := errAt(31)
+	ratio := e1 / e2
+	// halving h should shrink the error ~4x
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Fatalf("h-refinement error ratio %g, want ~4", ratio)
+	}
+}
+
+func TestZeroForcing(t *testing.T) {
+	pr := New(Params{N: 8, F: func(int) float64 { return 0 }, NewtonTol: 1e-12, MaxNewton: 40})
+	res, err := iterative.SolveSequential(pr, 1e-13, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range res.State {
+		if math.Abs(res.State[j][0]) > 1e-12 {
+			t.Fatal("zero forcing must give the zero solution")
+		}
+	}
+}
+
+func TestWorkIsAdaptive(t *testing.T) {
+	pr := New(DefaultParams(15))
+	res, err := iterative.SolveSequential(pr, 1e-12, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// one more sweep from the fixed point must cost ~1 Newton iteration
+	// per point
+	get := func(i int) []float64 { return res.State[i] }
+	out := []float64{0}
+	work := 0.0
+	for j := 0; j < pr.Components(); j++ {
+		work += pr.Update(j, res.State[j], get, out)
+	}
+	// the floor is 1 Newton iteration per point; warm starts within the
+	// sweep tolerance may need one more to pass the (tighter) Newton
+	// tolerance, so allow up to 2 per point
+	if work > 2*float64(pr.Components()) {
+		t.Fatalf("converged sweep cost %g, want <= %d", work, 2*pr.Components())
+	}
+}

@@ -1,0 +1,150 @@
+// Package ode provides the time integrators of the paper's two-stage scheme:
+// the implicit Euler method (and its θ-method generalization) with a Newton
+// solve of the nonlinear stage equations at every step. It integrates whole
+// systems at once and is used for the sequential reference solutions the
+// parallel waveform solvers are validated against.
+package ode
+
+import (
+	"fmt"
+
+	"aiac/internal/linalg"
+	"aiac/internal/solver"
+)
+
+// System is a (possibly stiff) ODE system y' = F(t, y) with a banded
+// Jacobian dF/dy.
+type System interface {
+	// Dim returns the number of state variables.
+	Dim() int
+	// F evaluates dydt = F(t, y); dydt must be fully overwritten.
+	F(t float64, y, dydt []float64)
+	// Jac adds dF/dy at (t, y) into jac, which arrives zeroed.
+	Jac(t float64, y []float64, jac *linalg.Banded)
+	// Bandwidth returns the Jacobian's lower and upper bandwidths.
+	Bandwidth() (kl, ku int)
+}
+
+// Options configures an integration.
+type Options struct {
+	// Theta selects the method: 1 = implicit Euler (the paper's choice),
+	// 0.5 = Crank-Nicolson. Must be in (0, 1]; 0 (explicit Euler) is not
+	// supported since the whole point is stiff stability.
+	Theta float64
+	// NewtonTol is the residual threshold for the stage equations.
+	NewtonTol float64
+	// MaxNewton bounds Newton iterations per step.
+	MaxNewton int
+	// Damping enables the Newton line search.
+	Damping bool
+}
+
+func (o Options) normalize() Options {
+	if o.Theta == 0 {
+		o.Theta = 1
+	}
+	if o.Theta < 0 || o.Theta > 1 {
+		panic("ode: Theta must be in (0, 1]")
+	}
+	if o.NewtonTol == 0 {
+		o.NewtonTol = 1e-10
+	}
+	if o.MaxNewton == 0 {
+		o.MaxNewton = 50
+	}
+	return o
+}
+
+// Result is a completed integration.
+type Result struct {
+	// T[k] is the time of step k; Y[k] the state, with Y[0] = y0.
+	T []float64
+	Y [][]float64
+	// NewtonIters is the total number of Newton iterations performed.
+	NewtonIters int
+}
+
+// Integrate advances the system from y0 at t0 with a fixed step dt for
+// `steps` steps using the θ-method:
+//
+//	y_{k+1} = y_k + dt*((1-θ)F(t_k, y_k) + θF(t_{k+1}, y_{k+1}))
+//
+// Each step's nonlinear equation is solved by a banded Newton warm-started
+// from y_k.
+func Integrate(sys System, y0 []float64, t0, dt float64, steps int, opts Options) (*Result, error) {
+	opts = opts.normalize()
+	n := sys.Dim()
+	if len(y0) != n {
+		panic("ode: y0 dimension mismatch")
+	}
+	if dt <= 0 || steps < 0 {
+		panic("ode: need dt > 0 and steps >= 0")
+	}
+	kl, ku := sys.Bandwidth()
+
+	res := &Result{
+		T: make([]float64, steps+1),
+		Y: make([][]float64, steps+1),
+	}
+	res.T[0] = t0
+	res.Y[0] = linalg.Clone(y0)
+
+	yPrev := linalg.Clone(y0)
+	fPrev := make([]float64, n)
+	var tNext float64
+	theta := opts.Theta
+
+	nw := &solver.BandedNewton{
+		N: n, KL: kl, KU: ku,
+		Tol:     opts.NewtonTol,
+		MaxIter: opts.MaxNewton,
+		Damping: opts.Damping,
+	}
+	ftmp := make([]float64, n)
+	nw.F = func(y, g []float64) {
+		// g = y - yPrev - dt*((1-θ) fPrev + θ F(tNext, y))
+		sys.F(tNext, y, ftmp)
+		for i := range g {
+			g[i] = y[i] - yPrev[i] - dt*((1-theta)*fPrev[i]+theta*ftmp[i])
+		}
+	}
+	nw.Jac = func(y []float64, jac *linalg.Banded) {
+		// dG/dy = I - dt*θ*J
+		sys.Jac(tNext, y, jac)
+		for i := 0; i < n; i++ {
+			jlo := i - kl
+			if jlo < 0 {
+				jlo = 0
+			}
+			jhi := i + ku
+			if jhi > n-1 {
+				jhi = n - 1
+			}
+			for j := jlo; j <= jhi; j++ {
+				v := jac.At(i, j) * (-dt * theta)
+				if i == j {
+					v += 1
+				}
+				jac.Set(i, j, v)
+			}
+		}
+	}
+
+	y := linalg.Clone(y0)
+	for k := 0; k < steps; k++ {
+		t := t0 + float64(k)*dt
+		tNext = t + dt
+		if theta < 1 {
+			sys.F(t, yPrev, fPrev)
+		}
+		iters, err := nw.Solve(y)
+		res.NewtonIters += iters
+		if err != nil {
+			return res, fmt.Errorf("ode: step %d (t=%g): %w", k, tNext, err)
+		}
+		res.T[k+1] = tNext
+		res.Y[k+1] = linalg.Clone(y)
+		copy(yPrev, y)
+	}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package ode
+
+import (
+	"math"
+	"testing"
+
+	"aiac/internal/linalg"
+)
+
+// decay is y' = -a*y with exact solution y0*exp(-a t).
+type decay struct{ a float64 }
+
+func (d decay) Dim() int { return 1 }
+func (d decay) F(t float64, y, dydt []float64) {
+	dydt[0] = -d.a * y[0]
+}
+func (d decay) Jac(t float64, y []float64, j *linalg.Banded) {
+	j.Set(0, 0, -d.a)
+}
+func (d decay) Bandwidth() (int, int) { return 0, 0 }
+
+func TestImplicitEulerDecay(t *testing.T) {
+	sys := decay{a: 2}
+	res, err := Integrate(sys, []float64{1}, 0, 0.01, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Y[100][0]
+	want := math.Exp(-2.0)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("y(1) = %g, want ~%g", got, want)
+	}
+	if res.T[100] != 1.0 {
+		t.Fatalf("T[100] = %g", res.T[100])
+	}
+	if res.NewtonIters < 100 {
+		t.Fatalf("NewtonIters = %d, must be at least one per step", res.NewtonIters)
+	}
+}
+
+func TestImplicitEulerStiffStability(t *testing.T) {
+	// very stiff decay, step far beyond the explicit stability limit
+	sys := decay{a: 1e6}
+	res, err := Integrate(sys, []float64{1}, 0, 0.1, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, y := range res.Y {
+		if math.Abs(y[0]) > 1 {
+			t.Fatalf("unstable at step %d: %g", k, y[0])
+		}
+	}
+	if math.Abs(res.Y[10][0]) > 1e-9 {
+		t.Fatalf("stiff decay should be ~0, got %g", res.Y[10][0])
+	}
+}
+
+func TestFirstOrderConvergence(t *testing.T) {
+	// implicit Euler error should shrink linearly with dt
+	sys := decay{a: 1}
+	errAt := func(dt float64) float64 {
+		steps := int(math.Round(1 / dt))
+		res, err := Integrate(sys, []float64{1}, 0, dt, steps, Options{NewtonTol: 1e-14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(res.Y[steps][0] - math.Exp(-1))
+	}
+	e1 := errAt(0.02)
+	e2 := errAt(0.01)
+	ratio := e1 / e2
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("halving dt scaled error by %g, want ~2 (first order)", ratio)
+	}
+}
+
+func TestCrankNicolsonSecondOrder(t *testing.T) {
+	sys := decay{a: 1}
+	errAt := func(dt float64) float64 {
+		steps := int(math.Round(1 / dt))
+		res, err := Integrate(sys, []float64{1}, 0, dt, steps, Options{Theta: 0.5, NewtonTol: 1e-14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(res.Y[steps][0] - math.Exp(-1))
+	}
+	e1 := errAt(0.02)
+	e2 := errAt(0.01)
+	ratio := e1 / e2
+	if ratio < 3.4 || ratio > 4.6 {
+		t.Fatalf("halving dt scaled error by %g, want ~4 (second order)", ratio)
+	}
+}
+
+// oscillator is the 2x2 system u' = v, v' = -u (rotation), bandwidth 1.
+type oscillator struct{}
+
+func (oscillator) Dim() int { return 2 }
+func (oscillator) F(t float64, y, dydt []float64) {
+	dydt[0] = y[1]
+	dydt[1] = -y[0]
+}
+func (oscillator) Jac(t float64, y []float64, j *linalg.Banded) {
+	j.Set(0, 1, 1)
+	j.Set(1, 0, -1)
+}
+func (oscillator) Bandwidth() (int, int) { return 1, 1 }
+
+func TestSystemIntegration(t *testing.T) {
+	res, err := Integrate(oscillator{}, []float64{1, 0}, 0, 0.001, 1000, Options{Theta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := res.Y[1000][0], res.Y[1000][1]
+	if math.Abs(u-math.Cos(1)) > 1e-4 || math.Abs(v+math.Sin(1)) > 1e-4 {
+		t.Fatalf("y(1) = (%g, %g), want (cos 1, -sin 1)", u, v)
+	}
+}
+
+// nlTest is y' = -y^3, a genuinely nonlinear scalar problem.
+type nlTest struct{}
+
+func (nlTest) Dim() int                                     { return 1 }
+func (nlTest) F(t float64, y, dydt []float64)               { dydt[0] = -y[0] * y[0] * y[0] }
+func (nlTest) Jac(t float64, y []float64, j *linalg.Banded) { j.Set(0, 0, -3*y[0]*y[0]) }
+func (nlTest) Bandwidth() (int, int)                        { return 0, 0 }
+
+func TestNonlinearProblem(t *testing.T) {
+	// exact solution: y(t) = 1/sqrt(1 + 2t) from y(0)=1
+	res, err := Integrate(nlTest{}, []float64{1}, 0, 0.001, 2000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Y[2000][0]
+	want := 1 / math.Sqrt(5)
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("y(2) = %g, want %g", got, want)
+	}
+}
+
+func TestIntegrateValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Integrate(decay{1}, []float64{1, 2}, 0, 0.1, 1, Options{}) },
+		func() { Integrate(decay{1}, []float64{1}, 0, -0.1, 1, Options{}) },
+		func() { Integrate(decay{1}, []float64{1}, 0, 0.1, 1, Options{Theta: 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZeroSteps(t *testing.T) {
+	res, err := Integrate(decay{1}, []float64{3}, 5, 0.1, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Y) != 1 || res.Y[0][0] != 3 || res.T[0] != 5 {
+		t.Fatalf("bad zero-step result: %+v", res)
+	}
+}

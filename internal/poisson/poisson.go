@@ -1,0 +1,116 @@
+// Package poisson implements a stationary problem — the 1-D Poisson
+// equation solved by (asynchronous) Jacobi iteration — as the third member
+// of the problem family the engines can run. Component trajectories have
+// length 1: the framework degenerates to the classic asynchronous fixed
+// point iteration x = g(x) of the paper's §1.1.
+//
+// The system is −x_{i−1} + 2x_i − x_{i+1} = h²·f_i with zero Dirichlet
+// boundaries and h = 1/(N+1); the Jacobi update is
+// x_i = (h²·f_i + x_{i−1} + x_{i+1}) / 2, a contraction on any connected
+// chain, hence convergent under total asynchronism (Bertsekas–Tsitsiklis).
+package poisson
+
+import (
+	"fmt"
+	"math"
+
+	"aiac/internal/iterative"
+)
+
+// Params defines a Poisson instance.
+type Params struct {
+	N int // interior grid points
+	// F is the forcing term at interior point i (1-based). Nil means the
+	// constant forcing f ≡ 1.
+	F func(i int) float64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("poisson: N = %d, need >= 1", p.N)
+	}
+	return nil
+}
+
+// Problem is the stationary Jacobi view of the Poisson system.
+type Problem struct {
+	p   Params
+	rhs []float64 // h² f_i per interior point
+}
+
+// New builds the problem, panicking on invalid parameters.
+func New(p Params) *Problem {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	h := 1 / float64(p.N+1)
+	f := p.F
+	if f == nil {
+		f = func(int) float64 { return 1 }
+	}
+	rhs := make([]float64, p.N)
+	for i := range rhs {
+		rhs[i] = h * h * f(i+1)
+	}
+	return &Problem{p: p, rhs: rhs}
+}
+
+// Params returns the problem parameters.
+func (pr *Problem) Params() Params { return pr.p }
+
+// Components implements iterative.Problem.
+func (pr *Problem) Components() int { return pr.p.N }
+
+// TrajLen implements iterative.Problem: stationary, one value per component.
+func (pr *Problem) TrajLen() int { return 1 }
+
+// Halo implements iterative.Problem.
+func (pr *Problem) Halo() int { return 1 }
+
+// Init implements iterative.Problem.
+func (pr *Problem) Init(j int) []float64 { return []float64{0} }
+
+// Update implements iterative.Problem: one Jacobi relaxation of point j.
+func (pr *Problem) Update(j int, old []float64, get func(i int) []float64, out []float64) float64 {
+	l, r := 0.0, 0.0
+	if j > 0 {
+		l = get(j - 1)[0]
+	}
+	if j < pr.p.N-1 {
+		r = get(j + 1)[0]
+	}
+	out[0] = (pr.rhs[j] + l + r) / 2
+	return 1
+}
+
+// Exact returns the exact solution of the continuous problem −x” = 1 at
+// interior point i (1-based) for the default forcing: x(s) = s(1−s)/2.
+// The second-order finite difference discretization of −x”=1 is exact for
+// this quadratic, so the discrete solution matches it to rounding.
+func (p Params) Exact(i int) float64 {
+	s := float64(i) / float64(p.N+1)
+	return s * (1 - s) / 2
+}
+
+// ResidualNorm returns the max-norm algebraic residual ‖h²f − Ax‖∞ of a
+// candidate solution x (component-major, trajectories of length 1).
+func (pr *Problem) ResidualNorm(state [][]float64) float64 {
+	n := pr.p.N
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		r := 2 * state[i][0]
+		if i > 0 {
+			r -= state[i-1][0]
+		}
+		if i < n-1 {
+			r -= state[i+1][0]
+		}
+		if d := math.Abs(r - pr.rhs[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+var _ iterative.Problem = (*Problem)(nil)

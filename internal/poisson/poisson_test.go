@@ -1,0 +1,59 @@
+package poisson
+
+import (
+	"math"
+	"testing"
+
+	"aiac/internal/iterative"
+)
+
+func TestValidate(t *testing.T) {
+	if (Params{N: 1}).Validate() != nil {
+		t.Fatal("N=1 should be valid")
+	}
+	if (Params{N: 0}).Validate() == nil {
+		t.Fatal("N=0 should fail")
+	}
+}
+
+func TestProblemInvariants(t *testing.T) {
+	pr := New(Params{N: 9})
+	if err := iterative.CheckProblem(pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.TrajLen() != 1 {
+		t.Fatalf("TrajLen = %d", pr.TrajLen())
+	}
+}
+
+func TestJacobiSolvesPoisson(t *testing.T) {
+	p := Params{N: 19}
+	pr := New(p)
+	res, err := iterative.SolveSequential(pr, 1e-13, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := pr.ResidualNorm(res.State); r > 1e-10 {
+		t.Fatalf("algebraic residual %g", r)
+	}
+	// second-order FD is exact for the quadratic solution
+	for i := 0; i < p.N; i++ {
+		if d := math.Abs(res.State[i][0] - p.Exact(i+1)); d > 1e-9 {
+			t.Fatalf("point %d: got %g want %g", i+1, res.State[i][0], p.Exact(i+1))
+		}
+	}
+}
+
+func TestCustomForcing(t *testing.T) {
+	p := Params{N: 7, F: func(i int) float64 { return 0 }}
+	pr := New(p)
+	res, err := iterative.SolveSequential(pr, 1e-14, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.State {
+		if math.Abs(res.State[i][0]) > 1e-12 {
+			t.Fatalf("zero forcing must give zero solution, got %g", res.State[i][0])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package poisson2d
+
+import (
+	"math"
+	"testing"
+
+	"aiac/internal/iterative"
+)
+
+func TestValidate(t *testing.T) {
+	if (Params{N: 1}).Validate() != nil {
+		t.Fatal("N=1 should be valid")
+	}
+	if (Params{}).Validate() == nil {
+		t.Fatal("N=0 should fail")
+	}
+}
+
+func TestProblemInvariants(t *testing.T) {
+	pr := New(Params{N: 8})
+	if err := iterative.CheckProblem(pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Components() != 8 || pr.TrajLen() != 8 || pr.Halo() != 1 {
+		t.Fatalf("shape: %d/%d/%d", pr.Components(), pr.TrajLen(), pr.Halo())
+	}
+}
+
+func TestJacobiSolvesManufactured(t *testing.T) {
+	p := Params{N: 15}
+	pr := New(p)
+	res, err := iterative.SolveSequential(pr, 1e-11, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := pr.ResidualNorm(res.State); r > 1e-9 {
+		t.Fatalf("algebraic residual %g", r)
+	}
+	// second-order FD: error ~ h² ≈ 0.004 for N=15
+	h := 1 / float64(p.N+1)
+	worst := 0.0
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			worst = math.Max(worst, math.Abs(res.State[i][j]-p.Exact(i+1, j+1)))
+		}
+	}
+	if worst > 2*h*h*math.Pi*math.Pi {
+		t.Fatalf("discretization error %g exceeds O(h²) bound", worst)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	p := Params{N: 9}
+	pr := New(p)
+	res, err := iterative.SolveSequential(pr, 1e-12, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sin(πx)sin(πy) is symmetric under (i,j) -> (j,i) and reflections
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			a := res.State[i][j]
+			b := res.State[j][i]
+			if math.Abs(a-b) > 1e-10 {
+				t.Fatalf("transpose symmetry broken at (%d,%d): %g vs %g", i, j, a, b)
+			}
+			c := res.State[p.N-1-i][j]
+			if math.Abs(a-c) > 1e-10 {
+				t.Fatalf("reflection symmetry broken at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCustomForcing(t *testing.T) {
+	pr := New(Params{N: 6, F: func(i, j int) float64 { return 0 }})
+	res, err := iterative.SolveSequential(pr, 1e-13, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.State {
+		for j := range res.State[i] {
+			if math.Abs(res.State[i][j]) > 1e-12 {
+				t.Fatal("zero forcing must give zero solution")
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package rtime is a real-concurrency runtime for the process model in
+// internal/runenv: every process is a goroutine running truly in parallel,
+// Work/Sleep consume (scaled) wall-clock time, and messages are delivered by
+// timer goroutines after their modeled link delay.
+//
+// It is the live counterpart of the deterministic internal/vtime runtime:
+// the same engine code runs on both. rtime executions are not reproducible
+// run-to-run (that is the point — real asynchronism), so tests against it
+// assert convergence and solution accuracy rather than exact timings.
+package rtime
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"aiac/internal/runenv"
+	"aiac/internal/trace"
+)
+
+// Runner executes process bodies with real concurrency.
+type Runner struct {
+	// Speedup scales model time to wall time: one model second takes
+	// 1/Speedup wall seconds. Zero means the default of 1000 (one model
+	// second per wall millisecond).
+	Speedup float64
+}
+
+type world struct {
+	cfg     runenv.Config
+	speedup float64
+	start   time.Time
+	procs   []*wproc
+
+	mu      sync.Mutex
+	stopped bool
+	seq     uint64
+	pairs   map[[2]int]*pairState
+	delWG   sync.WaitGroup
+}
+
+// pairState serializes deliveries per (from, to) pair: each send takes a
+// ticket, and its deliverer goroutine — after sleeping out the modeled
+// delay — waits until every earlier ticket on the same pair has been
+// delivered. This makes per-pair FIFO a hard guarantee rather than a
+// property of timer wakeup ordering.
+type pairState struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	nextTicket  uint64
+	nextDeliver uint64
+	lastArrival float64
+}
+
+type wproc struct {
+	id  int
+	w   *world
+	rng *rand.Rand
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	mailbox []runenv.Msg
+}
+
+// Run implements runenv.Runner.
+func (r Runner) Run(cfg runenv.Config, bodies []runenv.Body) float64 {
+	cfg = cfg.Normalize()
+	speedup := r.Speedup
+	if speedup <= 0 {
+		speedup = 1000
+	}
+	w := &world{
+		cfg:     cfg,
+		speedup: speedup,
+		start:   time.Now(),
+		pairs:   make(map[[2]int]*pairState),
+	}
+	w.procs = make([]*wproc, len(bodies))
+	for i := range bodies {
+		p := &wproc{id: i, w: w, rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))}
+		p.cond = sync.NewCond(&p.mu)
+		w.procs[i] = p
+	}
+	var watchdog *time.Timer
+	if cfg.MaxTime > 0 {
+		watchdog = time.AfterFunc(w.toWall(cfg.MaxTime), func() { w.stop() })
+	}
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i](&env{p: w.procs[i]})
+		}(i)
+	}
+	wg.Wait()
+	w.stop()
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	w.delWG.Wait()
+	return w.now()
+}
+
+func (w *world) now() float64 {
+	return time.Since(w.start).Seconds() * w.speedup
+}
+
+func (w *world) toWall(model float64) time.Duration {
+	return time.Duration(model / w.speedup * float64(time.Second))
+}
+
+func (w *world) stop() {
+	w.mu.Lock()
+	already := w.stopped
+	w.stopped = true
+	w.mu.Unlock()
+	if already {
+		return
+	}
+	for _, p := range w.procs {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+func (w *world) isStopped() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stopped
+}
+
+type env struct {
+	p *wproc
+}
+
+func (e *env) Rank() int     { return e.p.id }
+func (e *env) NumProcs() int { return len(e.p.w.procs) }
+func (e *env) Now() float64  { return e.p.w.now() }
+
+// preciseWait waits for d with sub-timer-granularity accuracy: it sleeps
+// for the bulk and spins (yielding) through the last stretch. Plain
+// time.Sleep rounds tiny durations up to the OS timer period (tens of
+// microseconds), which at high Speedup would randomly inflate modeled
+// compute and network times by an order of magnitude or more.
+func preciseWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	const spinLimit = 100 * time.Microsecond
+	target := time.Now().Add(d)
+	if d > spinLimit {
+		time.Sleep(d - spinLimit)
+	}
+	for time.Now().Before(target) {
+		runtime.Gosched()
+	}
+}
+
+func (e *env) Work(units float64) {
+	w := e.p.w
+	if units <= 0 || w.isStopped() {
+		return
+	}
+	d := w.cfg.ComputeTime(e.p.id, w.now(), units)
+	preciseWait(w.toWall(d))
+}
+
+func (e *env) Sleep(seconds float64) {
+	w := e.p.w
+	if seconds <= 0 || w.isStopped() {
+		return
+	}
+	preciseWait(w.toWall(seconds))
+}
+
+func (e *env) Send(to, kind int, payload any, bytes int) float64 {
+	w := e.p.w
+	if to < 0 || to >= len(w.procs) {
+		panic(fmt.Sprintf("rtime: send to invalid process %d", to))
+	}
+	now := w.now()
+	arrival := now + w.cfg.Delay(e.p.id, to, bytes, now)
+
+	key := [2]int{e.p.id, to}
+	w.mu.Lock()
+	w.seq++
+	seq := w.seq
+	ps := w.pairs[key]
+	if ps == nil {
+		ps = &pairState{}
+		ps.cond = sync.NewCond(&ps.mu)
+		w.pairs[key] = ps
+	}
+	w.delWG.Add(1)
+	w.mu.Unlock()
+
+	ps.mu.Lock()
+	ticket := ps.nextTicket
+	ps.nextTicket++
+	if arrival <= ps.lastArrival {
+		arrival = ps.lastArrival + 1e-9 // keep modeled arrivals increasing
+	}
+	ps.lastArrival = arrival
+	ps.mu.Unlock()
+
+	m := runenv.Msg{
+		From: e.p.id, To: to, Kind: kind, Payload: payload, Bytes: bytes,
+		SendT: now, Seq: seq,
+	}
+	dst := w.procs[to]
+	wait := w.toWall(arrival - now)
+	go func() {
+		defer w.delWG.Done()
+		preciseWait(wait)
+		// serialize with earlier sends on this pair
+		ps.mu.Lock()
+		for ps.nextDeliver != ticket {
+			ps.cond.Wait()
+		}
+		ps.mu.Unlock()
+		m.RecvT = w.now()
+		dst.mu.Lock()
+		dst.mailbox = append(dst.mailbox, m)
+		dst.cond.Broadcast()
+		dst.mu.Unlock()
+		ps.mu.Lock()
+		ps.nextDeliver++
+		ps.cond.Broadcast()
+		ps.mu.Unlock()
+	}()
+	return arrival
+}
+
+func (e *env) Recv() (runenv.Msg, bool) {
+	p := e.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.mailbox) == 0 {
+		return runenv.Msg{}, false
+	}
+	m := p.mailbox[0]
+	p.mailbox = p.mailbox[1:]
+	return m, true
+}
+
+func (e *env) RecvWait() (runenv.Msg, bool) {
+	p := e.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.mailbox) == 0 {
+		if p.w.isStopped() {
+			return runenv.Msg{}, false
+		}
+		p.cond.Wait()
+	}
+	m := p.mailbox[0]
+	p.mailbox = p.mailbox[1:]
+	return m, true
+}
+
+func (e *env) Stopped() bool { return e.p.w.isStopped() }
+
+func (e *env) Stop() { e.p.w.stop() }
+
+func (e *env) Rand() *rand.Rand { return e.p.rng }
+
+func (e *env) Trace(ev trace.Event) {
+	if t := e.p.w.cfg.Trace; t != nil {
+		t.Add(ev)
+	}
+}

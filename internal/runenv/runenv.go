@@ -1,0 +1,112 @@
+// Package runenv defines the execution environment abstraction shared by the
+// deterministic virtual-time runtime (internal/vtime) and the real
+// goroutine/channel runtime (internal/rtime).
+//
+// A parallel iterative algorithm is written once as a process body
+// func(Env); the environment supplies the process's notion of time, its
+// compute-cost accounting (which models CPU heterogeneity and background
+// load), and asynchronous point-to-point messaging with modeled link delays.
+// This replaces the PM2 multi-threaded runtime plus the physical
+// cluster/grid used in the paper.
+package runenv
+
+import (
+	"math/rand"
+
+	"aiac/internal/trace"
+)
+
+// Msg is a delivered message. Payload is an arbitrary immutable value; the
+// runtimes never copy payloads, so senders must not mutate them after Send.
+type Msg struct {
+	From, To int
+	Kind     int     // application-defined tag
+	Payload  any     // application data
+	Bytes    int     // modeled wire size, used for bandwidth cost
+	SendT    float64 // time Send was called
+	RecvT    float64 // time the message entered the destination mailbox
+	Seq      uint64  // global send sequence, for deterministic tie-breaking
+}
+
+// Env is the world as seen by one process (one grid node). All times are in
+// seconds: virtual seconds under vtime, scaled wall-clock seconds under
+// rtime.
+type Env interface {
+	// Rank returns this process's id in [0, NumProcs).
+	Rank() int
+	// NumProcs returns the total number of processes in the world.
+	NumProcs() int
+	// Now returns the current time at this process.
+	Now() float64
+	// Work advances time by the cost of executing the given abstract work
+	// units on this node, accounting for node speed and background load.
+	Work(units float64)
+	// Sleep advances time by the given duration regardless of node speed.
+	Sleep(seconds float64)
+	// Send delivers payload to process `to` after the modeled link delay
+	// and returns the arrival time. Sends never block and are reliable
+	// and FIFO per (from, to) pair.
+	Send(to, kind int, payload any, bytes int) (arrival float64)
+	// Recv pops the oldest pending message, if any, without blocking.
+	Recv() (Msg, bool)
+	// RecvWait blocks until a message is available or the world stops.
+	// ok is false when the world stopped (global halt, deadlock, or time
+	// limit) and no message is available.
+	RecvWait() (Msg, bool)
+	// Stopped reports whether the world has been stopped; processes should
+	// unwind promptly once it returns true.
+	Stopped() bool
+	// Stop requests a global stop of the world (idempotent).
+	Stop()
+	// Rand returns this process's deterministic private RNG.
+	Rand() *rand.Rand
+	// Trace records an event if tracing is enabled, else it is a no-op.
+	Trace(ev trace.Event)
+}
+
+// Config describes a world: how many processes, how expensive computation is
+// on each node, and how long messages take between nodes. The cost hooks are
+// supplied by internal/grid; keeping them as plain funcs keeps the runtimes
+// independent of the cluster model.
+type Config struct {
+	Procs int
+	// ComputeTime returns the wall/virtual duration for `units` of work
+	// starting at time `start` on node `node` (background load may make
+	// the same units cost more at different times).
+	ComputeTime func(node int, start, units float64) float64
+	// Delay returns the transfer duration for a message of the given
+	// modeled size sent between two nodes at time `now`. Implementations
+	// may keep per-link state (e.g. serialization queues), in which case
+	// they must be safe for concurrent use under the real-time runtime.
+	Delay func(from, to, bytes int, now float64) float64
+	// Seed seeds the per-process RNGs (process i uses Seed + i).
+	Seed int64
+	// Trace, when non-nil, collects events emitted via Env.Trace.
+	Trace *trace.Log
+	// MaxTime, when > 0, stops the world when the clock passes it.
+	MaxTime float64
+}
+
+// Normalize fills in defaults for missing hooks: unit-speed nodes and
+// zero-delay links.
+func (c Config) Normalize() Config {
+	if c.ComputeTime == nil {
+		c.ComputeTime = func(_ int, _, units float64) float64 { return units }
+	}
+	if c.Delay == nil {
+		c.Delay = func(_, _, _ int, _ float64) float64 { return 0 }
+	}
+	return c
+}
+
+// Body is a process body. Processes are started together and the world runs
+// until all bodies return or the world stops.
+type Body func(env Env)
+
+// Runner abstracts "run this set of process bodies to completion" so the
+// engines can be executed on either runtime.
+type Runner interface {
+	// Run executes bodies[i] as process i and returns the final time
+	// (the maximum process clock reached).
+	Run(cfg Config, bodies []Body) (endTime float64)
+}

@@ -1,0 +1,26 @@
+package runenv
+
+import "testing"
+
+func TestNormalizeDefaults(t *testing.T) {
+	cfg := Config{}.Normalize()
+	if cfg.ComputeTime == nil || cfg.Delay == nil {
+		t.Fatal("Normalize must install default hooks")
+	}
+	if got := cfg.ComputeTime(3, 0, 7.5); got != 7.5 {
+		t.Fatalf("default ComputeTime = %g, want identity", got)
+	}
+	if got := cfg.Delay(0, 1, 1<<20, 5); got != 0 {
+		t.Fatalf("default Delay = %g, want 0", got)
+	}
+}
+
+func TestNormalizeKeepsHooks(t *testing.T) {
+	called := false
+	cfg := Config{
+		ComputeTime: func(_ int, _, u float64) float64 { called = true; return u * 2 },
+	}.Normalize()
+	if cfg.ComputeTime(0, 0, 1) != 2 || !called {
+		t.Fatal("Normalize must not replace provided hooks")
+	}
+}

@@ -1,0 +1,163 @@
+// Package solver implements the Newton iterations used by the two-stage
+// scheme of the paper (implicit Euler outside, Newton inside): a scalar
+// Newton for the per-component waveform updates, and dense/banded system
+// Newtons for the sequential reference integrator.
+//
+// All entry points report the number of Newton iterations performed; that
+// count is the "work unit" the engines charge to the virtual CPU, and it is
+// what makes computation cost adaptive (components close to their fixed
+// point converge in one iteration, active components need several) — the
+// effect the paper's residual-driven load balancing exploits.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"aiac/internal/linalg"
+)
+
+// ErrNoConvergence is returned when Newton exceeds its iteration budget.
+var ErrNoConvergence = errors.New("solver: Newton did not converge")
+
+// ErrBadJacobian is returned when a Newton step meets a non-invertible
+// (or, for the scalar case, zero-derivative) Jacobian.
+var ErrBadJacobian = errors.New("solver: singular Jacobian")
+
+// ScalarFunc evaluates a scalar residual and its derivative at x.
+type ScalarFunc func(x float64) (f, df float64)
+
+// NewtonScalar solves f(x) = 0 starting from x0. It stops when |f| <= tol
+// and returns the root, the number of iterations used (at least 1: the
+// initial guess is always checked with one evaluation, which counts), and an
+// error if maxIter is exceeded or a zero derivative is met.
+func NewtonScalar(fn ScalarFunc, x0, tol float64, maxIter int) (x float64, iters int, err error) {
+	if maxIter <= 0 {
+		panic("solver: maxIter must be positive")
+	}
+	x = x0
+	for iters = 1; iters <= maxIter; iters++ {
+		f, df := fn(x)
+		if math.Abs(f) <= tol {
+			return x, iters, nil
+		}
+		if df == 0 || math.IsNaN(df) || math.IsInf(df, 0) {
+			return x, iters, fmt.Errorf("%w: f'(%g) = %g", ErrBadJacobian, x, df)
+		}
+		x -= f / df
+	}
+	return x, maxIter, fmt.Errorf("%w after %d iterations (|f|=%.3g > %.3g)",
+		ErrNoConvergence, maxIter, math.Abs(firstOf(fn(x))), tol)
+}
+
+func firstOf(f, _ float64) float64 { return f }
+
+// SystemFunc evaluates a vector residual: fx = F(x). fx has the system
+// dimension and must be fully overwritten.
+type SystemFunc func(x, fx []float64)
+
+// BandedJacFunc fills jac (pre-zeroed, unfactored) with dF/dx at x.
+type BandedJacFunc func(x []float64, jac *linalg.Banded)
+
+// BandedNewton solves F(x) = 0 for systems with banded Jacobians. It reuses
+// its workspaces across Solve calls, so one instance per goroutine can run
+// many solves without allocation.
+type BandedNewton struct {
+	N, KL, KU int
+	F         SystemFunc
+	Jac       BandedJacFunc
+	Tol       float64 // convergence threshold on NormInf(F)
+	MaxIter   int
+	// Damping enables a simple backtracking line search: the step is
+	// halved (up to 8 times) until the residual norm decreases.
+	Damping bool
+
+	fx, xTrial, fTrial, step []float64
+	jac                      *linalg.Banded
+}
+
+func (nw *BandedNewton) init() {
+	if nw.fx == nil {
+		nw.fx = make([]float64, nw.N)
+		nw.xTrial = make([]float64, nw.N)
+		nw.fTrial = make([]float64, nw.N)
+		nw.step = make([]float64, nw.N)
+		nw.jac = linalg.NewBanded(nw.N, nw.KL, nw.KU)
+	}
+}
+
+// Solve runs Newton in place on x and returns the iteration count.
+func (nw *BandedNewton) Solve(x []float64) (iters int, err error) {
+	if len(x) != nw.N {
+		panic("solver: BandedNewton.Solve dimension mismatch")
+	}
+	if nw.MaxIter <= 0 {
+		panic("solver: MaxIter must be positive")
+	}
+	nw.init()
+	for iters = 1; iters <= nw.MaxIter; iters++ {
+		nw.F(x, nw.fx)
+		norm := linalg.NormInf(nw.fx)
+		if norm <= nw.Tol {
+			return iters, nil
+		}
+		nw.jac.Zero()
+		nw.Jac(x, nw.jac)
+		if err := nw.jac.Factor(); err != nil {
+			return iters, fmt.Errorf("%w: %v", ErrBadJacobian, err)
+		}
+		copy(nw.step, nw.fx)
+		nw.jac.Solve(nw.step) // step = J^{-1} F
+		lambda := 1.0
+		for attempt := 0; ; attempt++ {
+			for i := range x {
+				nw.xTrial[i] = x[i] - lambda*nw.step[i]
+			}
+			if !nw.Damping {
+				break
+			}
+			nw.F(nw.xTrial, nw.fTrial)
+			if linalg.NormInf(nw.fTrial) < norm || attempt >= 8 {
+				break
+			}
+			lambda /= 2
+		}
+		copy(x, nw.xTrial)
+	}
+	nw.F(x, nw.fx)
+	return nw.MaxIter, fmt.Errorf("%w after %d iterations (|F|=%.3g > %.3g)",
+		ErrNoConvergence, nw.MaxIter, linalg.NormInf(nw.fx), nw.Tol)
+}
+
+// DenseJacFunc fills jac with dF/dx at x.
+type DenseJacFunc func(x []float64, jac *linalg.Dense)
+
+// NewtonDense solves F(x) = 0 with a dense Jacobian. x is updated in place.
+func NewtonDense(f SystemFunc, jacf DenseJacFunc, x []float64, tol float64, maxIter int) (iters int, err error) {
+	if maxIter <= 0 {
+		panic("solver: maxIter must be positive")
+	}
+	n := len(x)
+	fx := make([]float64, n)
+	jac := linalg.NewDense(n)
+	for iters = 1; iters <= maxIter; iters++ {
+		f(x, fx)
+		if linalg.NormInf(fx) <= tol {
+			return iters, nil
+		}
+		linalg.Fill(jac.A, 0)
+		jacf(x, jac)
+		lu, err := jac.Factor()
+		if err != nil {
+			return iters, fmt.Errorf("%w: %v", ErrBadJacobian, err)
+		}
+		lu.Solve(fx, fx)
+		for i := range x {
+			x[i] -= fx[i]
+		}
+	}
+	f(x, fx)
+	return maxIter, fmt.Errorf("%w after %d iterations (|F|=%.3g > %.3g)",
+		ErrNoConvergence, maxIter, linalg.NormInf(fx), tol)
+}

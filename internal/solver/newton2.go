@@ -1,0 +1,38 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func2 evaluates a 2-dimensional residual and its Jacobian at (x, y):
+// f1, f2 are the residual entries and j11..j22 the Jacobian
+// [df1/dx df1/dy; df2/dx df2/dy].
+type Func2 func(x, y float64) (f1, f2, j11, j12, j21, j22 float64)
+
+// Newton2 solves the 2x2 nonlinear system f(x, y) = 0 with Newton's method
+// and a closed-form Jacobian inverse. It is the inner kernel of the
+// Brusselator cell solve: cheap, allocation-free, and it reports the
+// iteration count used for work accounting (a converged warm start costs
+// exactly one iteration).
+func Newton2(fn Func2, x0, y0, tol float64, maxIter int) (x, y float64, iters int, err error) {
+	if maxIter <= 0 {
+		panic("solver: maxIter must be positive")
+	}
+	x, y = x0, y0
+	for iters = 1; iters <= maxIter; iters++ {
+		f1, f2, a, b, c, d := fn(x, y)
+		if math.Abs(f1) <= tol && math.Abs(f2) <= tol {
+			return x, y, iters, nil
+		}
+		det := a*d - b*c
+		if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
+			return x, y, iters, fmt.Errorf("%w: 2x2 determinant %g at (%g, %g)", ErrBadJacobian, det, x, y)
+		}
+		x -= (d*f1 - b*f2) / det
+		y -= (a*f2 - c*f1) / det
+	}
+	f1, f2, _, _, _, _ := fn(x, y)
+	return x, y, maxIter, fmt.Errorf("%w after %d iterations (|F|=%.3g > %.3g)",
+		ErrNoConvergence, maxIter, math.Max(math.Abs(f1), math.Abs(f2)), tol)
+}

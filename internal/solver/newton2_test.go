@@ -1,0 +1,82 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// circle-line intersection: x²+y²=4, y=x → (√2, √2)
+func circleLine(x, y float64) (f1, f2, j11, j12, j21, j22 float64) {
+	f1 = x*x + y*y - 4
+	f2 = y - x
+	j11, j12 = 2*x, 2*y
+	j21, j22 = -1, 1
+	return
+}
+
+func TestNewton2Known(t *testing.T) {
+	x, y, iters, err := Newton2(circleLine, 1, 1.2, 1e-12, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-10 || math.Abs(y-math.Sqrt2) > 1e-10 {
+		t.Fatalf("got (%g, %g)", x, y)
+	}
+	if iters < 2 || iters > 12 {
+		t.Fatalf("iters = %d", iters)
+	}
+}
+
+func TestNewton2WarmStart(t *testing.T) {
+	_, _, iters, err := Newton2(circleLine, math.Sqrt2, math.Sqrt2, 1e-10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 1 {
+		t.Fatalf("warm start must cost 1 iteration, got %d", iters)
+	}
+}
+
+func TestNewton2MatchesDense(t *testing.T) {
+	// same test system as the dense Newton test
+	fn := func(x, y float64) (f1, f2, j11, j12, j21, j22 float64) {
+		f1 = x*x + y - 3
+		f2 = x + y*y - 5
+		j11, j12 = 2*x, 1
+		j21, j22 = 1, 2*y
+		return
+	}
+	x2, y2, _, err := Newton2(fn, 1, 1, 1e-12, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd := []float64{1, 1}
+	if _, err := NewtonDense(sysF, sysJacDense, xd, 1e-12, 50); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x2-xd[0]) > 1e-9 || math.Abs(y2-xd[1]) > 1e-9 {
+		t.Fatalf("Newton2 (%g, %g) vs dense %v", x2, y2, xd)
+	}
+}
+
+func TestNewton2SingularJacobian(t *testing.T) {
+	fn := func(x, y float64) (f1, f2, j11, j12, j21, j22 float64) {
+		return 1, 1, 1, 1, 1, 1 // rank-1 Jacobian, constant residual
+	}
+	_, _, _, err := Newton2(fn, 0, 0, 1e-12, 10)
+	if !errors.Is(err, ErrBadJacobian) {
+		t.Fatalf("expected ErrBadJacobian, got %v", err)
+	}
+}
+
+func TestNewton2NoConvergence(t *testing.T) {
+	fn := func(x, y float64) (f1, f2, j11, j12, j21, j22 float64) {
+		// rootless: x²+1 = 0 paired with a benign second equation
+		return x*x + 1, y, 2*x + 1e-6, 0, 0, 1
+	}
+	_, _, _, err := Newton2(fn, 1, 1, 1e-12, 15)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+}

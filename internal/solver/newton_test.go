@@ -1,0 +1,175 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aiac/internal/linalg"
+)
+
+func TestNewtonScalarSqrt2(t *testing.T) {
+	f := func(x float64) (float64, float64) { return x*x - 2, 2 * x }
+	x, iters, err := NewtonScalar(f, 1.5, 1e-12, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-10 {
+		t.Fatalf("x = %v", x)
+	}
+	if iters < 2 || iters > 10 {
+		t.Fatalf("unexpected iteration count %d", iters)
+	}
+}
+
+func TestNewtonScalarWarmStartIsCheap(t *testing.T) {
+	f := func(x float64) (float64, float64) { return x*x - 2, 2 * x }
+	_, iters, err := NewtonScalar(f, math.Sqrt2, 1e-10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 1 {
+		t.Fatalf("a converged warm start must cost exactly 1 iteration, got %d", iters)
+	}
+}
+
+func TestNewtonScalarZeroDerivative(t *testing.T) {
+	f := func(x float64) (float64, float64) { return x*x + 1, 2 * x }
+	_, _, err := NewtonScalar(f, 0, 1e-12, 50)
+	if !errors.Is(err, ErrBadJacobian) {
+		t.Fatalf("expected ErrBadJacobian, got %v", err)
+	}
+}
+
+func TestNewtonScalarNoConvergence(t *testing.T) {
+	// x^2+1 has no real root; from x=1 Newton wanders forever.
+	f := func(x float64) (float64, float64) { return x*x + 1, 2 * x }
+	_, iters, err := NewtonScalar(f, 1, 1e-12, 20)
+	if !errors.Is(err, ErrNoConvergence) && !errors.Is(err, ErrBadJacobian) {
+		t.Fatalf("expected failure, got %v after %d iters", err, iters)
+	}
+}
+
+func TestNewtonScalarQuadraticConvergenceProperty(t *testing.T) {
+	// root recovery of (x-r)(x+r+3) from a nearby start
+	f := func(rSeed int64) bool {
+		rng := rand.New(rand.NewSource(rSeed))
+		r := 0.5 + rng.Float64()*10
+		fn := func(x float64) (float64, float64) {
+			return (x - r) * (x + r + 3), 2*x + 3
+		}
+		x, _, err := NewtonScalar(fn, r+0.3, 1e-12, 100)
+		return err == nil && math.Abs(x-r) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// a small nonlinear test system:
+// f0 = x0^2 + x1 - 3, f1 = x0 + x1^2 - 5; solution near (1.2, 1.5…)
+func sysF(x, fx []float64) {
+	fx[0] = x[0]*x[0] + x[1] - 3
+	fx[1] = x[0] + x[1]*x[1] - 5
+}
+
+func sysJacDense(x []float64, j *linalg.Dense) {
+	j.Set(0, 0, 2*x[0])
+	j.Set(0, 1, 1)
+	j.Set(1, 0, 1)
+	j.Set(1, 1, 2*x[1])
+}
+
+func sysJacBanded(x []float64, j *linalg.Banded) {
+	j.Set(0, 0, 2*x[0])
+	j.Set(0, 1, 1)
+	j.Set(1, 0, 1)
+	j.Set(1, 1, 2*x[1])
+}
+
+func TestNewtonDense(t *testing.T) {
+	x := []float64{1, 1}
+	iters, err := NewtonDense(sysF, sysJacDense, x, 1e-12, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := make([]float64, 2)
+	sysF(x, fx)
+	if linalg.NormInf(fx) > 1e-10 {
+		t.Fatalf("residual %g after %d iters, x=%v", linalg.NormInf(fx), iters, x)
+	}
+}
+
+func TestBandedNewtonMatchesDense(t *testing.T) {
+	xd := []float64{1, 1}
+	if _, err := NewtonDense(sysF, sysJacDense, xd, 1e-12, 50); err != nil {
+		t.Fatal(err)
+	}
+	nb := &BandedNewton{N: 2, KL: 1, KU: 1, F: sysF, Jac: sysJacBanded, Tol: 1e-12, MaxIter: 50}
+	xb := []float64{1, 1}
+	if _, err := nb.Solve(xb); err != nil {
+		t.Fatal(err)
+	}
+	if linalg.MaxAbsDiff(xd, xb) > 1e-9 {
+		t.Fatalf("dense %v vs banded %v", xd, xb)
+	}
+}
+
+func TestBandedNewtonReuse(t *testing.T) {
+	nb := &BandedNewton{N: 2, KL: 1, KU: 1, F: sysF, Jac: sysJacBanded, Tol: 1e-12, MaxIter: 50}
+	for trial := 0; trial < 5; trial++ {
+		x := []float64{1 + float64(trial)*0.1, 1}
+		if _, err := nb.Solve(x); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		fx := make([]float64, 2)
+		sysF(x, fx)
+		if linalg.NormInf(fx) > 1e-10 {
+			t.Fatalf("trial %d residual %g", trial, linalg.NormInf(fx))
+		}
+	}
+}
+
+func TestBandedNewtonDampingHelpsHardStart(t *testing.T) {
+	// f(x) = atan(x): undamped Newton diverges from |x0| > ~1.39.
+	f := func(x, fx []float64) { fx[0] = math.Atan(x[0]) }
+	jac := func(x []float64, j *linalg.Banded) { j.Set(0, 0, 1/(1+x[0]*x[0])) }
+	undamped := &BandedNewton{N: 1, F: f, Jac: jac, Tol: 1e-10, MaxIter: 30}
+	x := []float64{3}
+	_, errU := undamped.Solve(x)
+	damped := &BandedNewton{N: 1, F: f, Jac: jac, Tol: 1e-10, MaxIter: 30, Damping: true}
+	x = []float64{3}
+	_, errD := damped.Solve(x)
+	if errD != nil {
+		t.Fatalf("damped Newton failed: %v", errD)
+	}
+	if math.Abs(x[0]) > 1e-8 {
+		t.Fatalf("damped Newton missed the root: %v", x)
+	}
+	if errU == nil {
+		t.Log("note: undamped Newton unexpectedly converged on atan from x0=3")
+	}
+}
+
+func TestBandedNewtonNoConvergence(t *testing.T) {
+	f := func(x, fx []float64) { fx[0] = x[0]*x[0] + 1 }
+	jac := func(x []float64, j *linalg.Banded) { j.Set(0, 0, 2*x[0]+1e-9) }
+	nb := &BandedNewton{N: 1, F: f, Jac: jac, Tol: 1e-12, MaxIter: 10}
+	x := []float64{1}
+	_, err := nb.Solve(x)
+	if err == nil {
+		t.Fatal("expected failure on rootless system")
+	}
+}
+
+func TestBandedNewtonSingularJacobian(t *testing.T) {
+	f := func(x, fx []float64) { fx[0] = 1 } // constant residual
+	jac := func(x []float64, j *linalg.Banded) {}
+	nb := &BandedNewton{N: 1, F: f, Jac: jac, Tol: 1e-12, MaxIter: 10}
+	x := []float64{0}
+	if _, err := nb.Solve(x); !errors.Is(err, ErrBadJacobian) {
+		t.Fatalf("expected ErrBadJacobian, got %v", err)
+	}
+}

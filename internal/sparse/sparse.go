@@ -1,0 +1,175 @@
+// Package sparse provides a compressed-sparse-row (CSR) matrix with the
+// operations the asynchronous linear solvers need: matrix-vector products,
+// row access, diagonal extraction, bandwidth measurement and diagonal-
+// dominance checks (the classical sufficient condition for asynchronous
+// Jacobi convergence).
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is an immutable square CSR matrix. Build one with a Builder.
+type Matrix struct {
+	n       int
+	rowPtr  []int
+	colIdx  []int
+	values  []float64
+	diagIdx []int // index into values of each row's diagonal entry, -1 if absent
+}
+
+// Builder accumulates entries for a CSR matrix. Duplicate (i, j) entries
+// are summed.
+type Builder struct {
+	n       int
+	entries map[[2]int]float64
+}
+
+// NewBuilder creates a builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	if n <= 0 {
+		panic("sparse: dimension must be positive")
+	}
+	return &Builder{n: n, entries: make(map[[2]int]float64)}
+}
+
+// Add accumulates v into entry (i, j).
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	b.entries[[2]int{i, j}] += v
+}
+
+// Set assigns entry (i, j), replacing any accumulated value.
+func (b *Builder) Set(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	b.entries[[2]int{i, j}] = v
+}
+
+// Build freezes the builder into a CSR matrix. Explicit zeros are kept.
+func (b *Builder) Build() *Matrix {
+	type ent struct {
+		i, j int
+		v    float64
+	}
+	es := make([]ent, 0, len(b.entries))
+	for k, v := range b.entries {
+		es = append(es, ent{k[0], k[1], v})
+	}
+	sort.Slice(es, func(a, c int) bool {
+		if es[a].i != es[c].i {
+			return es[a].i < es[c].i
+		}
+		return es[a].j < es[c].j
+	})
+	m := &Matrix{
+		n:       b.n,
+		rowPtr:  make([]int, b.n+1),
+		colIdx:  make([]int, len(es)),
+		values:  make([]float64, len(es)),
+		diagIdx: make([]int, b.n),
+	}
+	for i := range m.diagIdx {
+		m.diagIdx[i] = -1
+	}
+	for idx, e := range es {
+		m.colIdx[idx] = e.j
+		m.values[idx] = e.v
+		m.rowPtr[e.i+1] = idx + 1
+		if e.i == e.j {
+			m.diagIdx[e.i] = idx
+		}
+	}
+	for i := 1; i <= b.n; i++ {
+		if m.rowPtr[i] == 0 {
+			m.rowPtr[i] = m.rowPtr[i-1]
+		}
+	}
+	return m
+}
+
+// N returns the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.values) }
+
+// Row returns row i's column indices and values (shared slices; do not
+// modify).
+func (m *Matrix) Row(i int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.values[lo:hi]
+}
+
+// Diag returns the diagonal entry of row i (0 if absent).
+func (m *Matrix) Diag(i int) float64 {
+	if idx := m.diagIdx[i]; idx >= 0 {
+		return m.values[idx]
+	}
+	return 0
+}
+
+// MulVec computes dst = M·x.
+func (m *Matrix) MulVec(x, dst []float64) {
+	if len(x) != m.n || len(dst) != m.n {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.n; i++ {
+		s := 0.0
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			s += vals[k] * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Bandwidth returns max |i−j| over stored entries.
+func (m *Matrix) Bandwidth() int {
+	bw := 0
+	for i := 0; i < m.n; i++ {
+		cols, _ := m.Row(i)
+		for _, j := range cols {
+			if d := j - i; d > bw {
+				bw = d
+			} else if d := i - j; d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// DiagonallyDominant reports whether |a_ii| > Σ_{j≠i} |a_ij| for every row
+// (strict dominance — the classical sufficient condition for asynchronous
+// Jacobi convergence), along with the worst row ratio
+// Σ_{j≠i}|a_ij| / |a_ii| (the Jacobi contraction bound in the max norm).
+func (m *Matrix) DiagonallyDominant() (ok bool, worstRatio float64) {
+	ok = true
+	for i := 0; i < m.n; i++ {
+		d := math.Abs(m.Diag(i))
+		off := 0.0
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			if j != i {
+				off += math.Abs(vals[k])
+			}
+		}
+		if d == 0 {
+			return false, math.Inf(1)
+		}
+		r := off / d
+		if r >= 1 {
+			ok = false
+		}
+		if r > worstRatio {
+			worstRatio = r
+		}
+	}
+	return ok, worstRatio
+}

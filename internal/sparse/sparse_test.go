@@ -1,0 +1,146 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderAndRowAccess(t *testing.T) {
+	b := NewBuilder(3)
+	b.Set(0, 0, 2)
+	b.Set(0, 1, -1)
+	b.Add(1, 1, 1)
+	b.Add(1, 1, 2) // accumulates to 3
+	b.Set(2, 2, 4)
+	b.Set(2, 0, 5)
+	m := b.Build()
+	if m.N() != 3 || m.NNZ() != 5 {
+		t.Fatalf("n=%d nnz=%d", m.N(), m.NNZ())
+	}
+	if m.Diag(0) != 2 || m.Diag(1) != 3 || m.Diag(2) != 4 {
+		t.Fatalf("diag: %g %g %g", m.Diag(0), m.Diag(1), m.Diag(2))
+	}
+	cols, vals := m.Row(2)
+	if len(cols) != 2 || cols[0] != 0 || vals[0] != 5 || cols[1] != 2 || vals[1] != 4 {
+		t.Fatalf("row 2: %v %v", cols, vals)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	b := NewBuilder(3)
+	b.Set(0, 0, 1)
+	b.Set(0, 2, 2)
+	b.Set(1, 1, 3)
+	b.Set(2, 0, 4)
+	m := b.Build()
+	dst := make([]float64, 3)
+	m.MulVec([]float64{1, 2, 3}, dst)
+	want := []float64{7, 6, 4}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVec = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	b := NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.Set(i, i, 1)
+	}
+	b.Set(0, 3, 1)
+	if bw := b.Build().Bandwidth(); bw != 3 {
+		t.Fatalf("bandwidth = %d", bw)
+	}
+}
+
+func TestDiagonallyDominant(t *testing.T) {
+	b := NewBuilder(3)
+	b.Set(0, 0, 3)
+	b.Set(0, 1, -1)
+	b.Set(1, 0, 1)
+	b.Set(1, 1, 4)
+	b.Set(1, 2, 1)
+	b.Set(2, 2, 2)
+	m := b.Build()
+	ok, worst := m.DiagonallyDominant()
+	if !ok {
+		t.Fatal("should be dominant")
+	}
+	if math.Abs(worst-0.5) > 1e-15 {
+		t.Fatalf("worst ratio %g, want 0.5", worst)
+	}
+	// break dominance
+	b2 := NewBuilder(2)
+	b2.Set(0, 0, 1)
+	b2.Set(0, 1, 2)
+	b2.Set(1, 1, 1)
+	if ok, _ := b2.Build().DiagonallyDominant(); ok {
+		t.Fatal("should not be dominant")
+	}
+	// zero diagonal
+	b3 := NewBuilder(2)
+	b3.Set(0, 1, 1)
+	b3.Set(1, 1, 1)
+	if ok, worst := b3.Build().DiagonallyDominant(); ok || !math.IsInf(worst, 1) {
+		t.Fatalf("zero diagonal: ok=%v worst=%g", ok, worst)
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		dense := make([][]float64, n)
+		b := NewBuilder(n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+			for j := range dense[i] {
+				if rng.Float64() < 0.3 {
+					v := rng.NormFloat64()
+					dense[i][j] = v
+					b.Set(i, j, v)
+				}
+			}
+		}
+		m := b.Build()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		m.MulVec(x, got)
+		for i := 0; i < n; i++ {
+			want := 0.0
+			for j := 0; j < n; j++ {
+				want += dense[i][j] * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBuilder(0) },
+		func() { NewBuilder(2).Set(2, 0, 1) },
+		func() { NewBuilder(2).Add(-1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

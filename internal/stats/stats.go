@@ -1,0 +1,199 @@
+// Package stats provides the small statistics and table-formatting helpers
+// used by the experiment harness: run aggregation (the paper averages "a
+// series of executions" for the multi-user grid results) and aligned text
+// tables for the reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary aggregates a sample.
+type Summary struct {
+	N                   int
+	Mean, Std, Min, Max float64
+	Median              float64
+}
+
+// Summarize computes the summary of a non-empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of a non-empty sample.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// GeoMean returns the geometric mean of a sample of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean needs positive values")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Table formats aligned text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// DecayRate fits a geometric decay r to a positive series y_k ≈ C·r^k by
+// least-squares regression on log values, returning r and the fit's R².
+// It is used to estimate contraction factors from residual histories.
+// Non-positive entries are skipped; fewer than 3 usable points return
+// (0, 0).
+func DecayRate(ys []float64) (rate, r2 float64) {
+	var xs, ls []float64
+	for k, y := range ys {
+		if y > 0 {
+			xs = append(xs, float64(k))
+			ls = append(ls, math.Log(y))
+		}
+	}
+	n := float64(len(xs))
+	if n < 3 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ls[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ls[i]
+		syy += ls[i] * ls[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	slope := (n*sxy - sx*sy) / den
+	rate = math.Exp(slope)
+	// R² of the linear fit
+	varY := syy - sy*sy/n
+	if varY <= 0 {
+		return rate, 1
+	}
+	ssRes := 0.0
+	intercept := (sy - slope*sx) / n
+	for i := range xs {
+		d := ls[i] - (intercept + slope*xs[i])
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/varY
+	return rate, r2
+}

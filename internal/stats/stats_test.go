@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean = %g", s.Mean)
+	}
+	if math.Abs(s.Std-2.138) > 0.01 {
+		t.Fatalf("Std = %g", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("range [%g, %g]", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("Median = %g", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	if m := Summarize([]float64{3, 1, 2}).Median; m != 2 {
+		t.Fatalf("Median = %g", m)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("GeoMean = %g", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive input")
+		}
+	}()
+	GeoMean([]float64{1, -1})
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("name", "time", "ratio")
+	tab.AddRow("balanced", 105.5, 4.88)
+	tab.AddRow("non-balanced", 515.3, 1)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "ratio") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(out, "105.500") || !strings.Contains(out, "4.880") {
+		t.Fatalf("bad cells:\n%s", out)
+	}
+	// all rows align: equal rendered width
+	for _, l := range lines[1:] {
+		if len(l) > len(lines[0])+2 {
+			t.Fatalf("misaligned row %q", l)
+		}
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := NewTable("v")
+	tab.AddRow(0.0)
+	tab.AddRow(1234567.0)
+	tab.AddRow(0.000012)
+	out := tab.String()
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1.23e+06") || !strings.Contains(out, "1.2e-05") {
+		t.Fatalf("float formats:\n%s", out)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean")
+	}
+}
+
+func TestDecayRate(t *testing.T) {
+	ys := make([]float64, 40)
+	for k := range ys {
+		ys[k] = 3 * math.Pow(0.8, float64(k))
+	}
+	rate, r2 := DecayRate(ys)
+	if math.Abs(rate-0.8) > 1e-9 || r2 < 0.999 {
+		t.Fatalf("rate=%g r2=%g", rate, r2)
+	}
+	// noise-free short series and degenerate inputs
+	if r, _ := DecayRate([]float64{1, 0.5}); r != 0 {
+		t.Fatalf("too-short series should give 0, got %g", r)
+	}
+	if r, _ := DecayRate([]float64{0, -1, 0}); r != 0 {
+		t.Fatalf("non-positive series should give 0, got %g", r)
+	}
+	// skips non-positive entries
+	ys[7] = 0
+	rate, _ = DecayRate(ys)
+	if math.Abs(rate-0.8) > 1e-6 {
+		t.Fatalf("rate with gap = %g", rate)
+	}
+}

@@ -1,0 +1,47 @@
+package trace
+
+import "testing"
+
+func TestIdleFractionWithin(t *testing.T) {
+	var l Log
+	// node 0 computes 0-2 and 3-5: busy 4 of span 5 → idle 0.2
+	l.Add(Event{T0: 0, T1: 2, Node: 0, Kind: Compute})
+	l.Add(Event{T0: 3, T1: 5, Node: 0, Kind: Compute})
+	// node 1 computes 0-1 then nothing until the log ends at 5; within
+	// its own span (0-1) it is fully busy → idle 0
+	l.Add(Event{T0: 0, T1: 1, Node: 1, Kind: Compute})
+	fr := IdleFractionWithin(&l)
+	if len(fr) != 2 {
+		t.Fatalf("len = %d", len(fr))
+	}
+	if fr[0] < 0.19 || fr[0] > 0.21 {
+		t.Fatalf("node 0 idle = %g, want 0.2", fr[0])
+	}
+	if fr[1] != 0 {
+		t.Fatalf("node 1 idle = %g, want 0 (tail excluded)", fr[1])
+	}
+}
+
+func TestIdleFractionWithinBalanceCounts(t *testing.T) {
+	var l Log
+	l.Add(Event{T0: 0, T1: 1, Node: 0, Kind: Compute})
+	l.Add(Event{T0: 1, T1: 2, Node: 0, Kind: Balance})
+	l.Add(Event{T0: 2, T1: 3, Node: 0, Kind: Compute})
+	fr := IdleFractionWithin(&l)
+	if fr[0] != 0 {
+		t.Fatalf("balance spans must count as busy, idle = %g", fr[0])
+	}
+}
+
+func TestIdleFractionWithinEmpty(t *testing.T) {
+	var l Log
+	if fr := IdleFractionWithin(&l); len(fr) != 0 {
+		t.Fatalf("empty log: %v", fr)
+	}
+	// message-only logs produce zero-span nodes (only emitting nodes count)
+	l.Add(Event{T0: 1, T1: 2, Node: 0, To: 1, Kind: SendRight})
+	fr := IdleFractionWithin(&l)
+	if len(fr) != 1 || fr[0] != 0 {
+		t.Fatalf("message-only log: %v", fr)
+	}
+}

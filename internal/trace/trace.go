@@ -1,0 +1,151 @@
+// Package trace records timestamped execution events (compute spans, message
+// transfers, load-balancing actions) emitted by the parallel iterative
+// engines, and renders them as ASCII Gantt charts like Figures 1-4 of the
+// paper, or exports them as CSV for external plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// Event kinds. Span kinds (Compute, Idle, Balance) carry a duration;
+// message kinds (SendLeft, SendRight, SendLB, Control) carry a destination
+// and span the transfer interval [T0, T1].
+const (
+	Compute Kind = iota // a node computing one iteration (or part of one)
+	Idle                // a node blocked waiting for data or a barrier
+	Balance             // local load-balancing bookkeeping (resize, copy)
+	SendLeft
+	SendRight
+	SendLB
+	Control // convergence-detection or barrier traffic
+	Mark    // zero-duration annotation (e.g. "halt", "lb-reject")
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Idle:
+		return "idle"
+	case Balance:
+		return "balance"
+	case SendLeft:
+		return "send-left"
+	case SendRight:
+		return "send-right"
+	case SendLB:
+		return "send-lb"
+	case Control:
+		return "control"
+	case Mark:
+		return "mark"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is a single recorded occurrence. For span kinds To is -1.
+// Times are in simulated (or scaled real) seconds.
+type Event struct {
+	T0, T1 float64
+	Node   int
+	To     int // destination node for message kinds, else -1
+	Kind   Kind
+	Iter   int    // iteration number at the emitting node, -1 if n/a
+	Note   string // free-form annotation
+}
+
+// Log is a concurrency-safe append-only collection of events.
+// The zero value is ready to use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add appends an event to the log. It is safe for concurrent use.
+func (l *Log) Add(ev Event) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by start time
+// (ties broken by node, then kind).
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T0 != out[j].T0 {
+			return out[i].T0 < out[j].T0
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Filter returns the events matching the given kind, in time order.
+func (l *Log) Filter(k Kind) []Event {
+	var out []Event
+	for _, ev := range l.Events() {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Span returns the [min T0, max T1] interval covered by the log.
+// It returns (0, 0) for an empty log.
+func (l *Log) Span() (t0, t1 float64) {
+	evs := l.Events()
+	if len(evs) == 0 {
+		return 0, 0
+	}
+	t0 = evs[0].T0
+	t1 = evs[0].T1
+	for _, ev := range evs {
+		if ev.T0 < t0 {
+			t0 = ev.T0
+		}
+		if ev.T1 > t1 {
+			t1 = ev.T1
+		}
+	}
+	return t0, t1
+}
+
+// WriteCSV writes the events as CSV rows: t0,t1,node,to,kind,iter,note.
+func (l *Log) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t0,t1,node,to,kind,iter,note"); err != nil {
+		return err
+	}
+	for _, ev := range l.Events() {
+		note := strings.ReplaceAll(ev.Note, ",", ";")
+		if _, err := fmt.Fprintf(w, "%.9f,%.9f,%d,%d,%s,%d,%s\n",
+			ev.T0, ev.T1, ev.Node, ev.To, ev.Kind, ev.Iter, note); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+// Package vtime is a deterministic discrete-event runtime for the process
+// model defined in internal/runenv.
+//
+// Each process runs in its own goroutine, but exactly one process executes
+// at any moment: processes yield to the central scheduler whenever they
+// consume time (Work, Sleep) or block (RecvWait). Events are totally ordered
+// by (time, sequence number), so a given configuration and seed always
+// produces the same execution, the same message interleavings and the same
+// virtual end-to-end times — which is what makes the paper's experiments
+// reproducible on any host.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"aiac/internal/runenv"
+	"aiac/internal/trace"
+)
+
+type evKind int
+
+const (
+	evWake evKind = iota
+	evDeliver
+)
+
+type event struct {
+	t    float64
+	seq  uint64
+	kind evKind
+	proc int
+	msg  runenv.Msg
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any         { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *eventHeap) pushEv(e event)   { heap.Push(h, e) }
+func (h *eventHeap) popEv() (e event) { return heap.Pop(h).(event) }
+
+type proc struct {
+	id       int
+	clock    float64
+	resume   chan struct{}
+	mailbox  []runenv.Msg
+	waiting  bool // blocked in RecvWait
+	sleeping bool // has a pending evWake
+	finished bool
+	rng      *rand.Rand
+	sched    *Scheduler
+}
+
+// Scheduler is a single-use deterministic world. Create one with New, then
+// call Run.
+type Scheduler struct {
+	cfg     runenv.Config
+	procs   []*proc
+	events  eventHeap
+	yielded chan struct{}
+	seq     uint64
+	stopped bool
+	// Deadlocked is set when the run ended because every live process was
+	// blocked in RecvWait with no pending events.
+	Deadlocked bool
+	// TimedOut is set when the run was stopped by cfg.MaxTime.
+	TimedOut bool
+	// fifo tracks the last arrival time per (from,to) pair to keep
+	// per-pair delivery FIFO even if the delay model is not monotone in
+	// message size.
+	fifo map[[2]int]float64
+}
+
+// New creates a scheduler for the given configuration.
+func New(cfg runenv.Config) *Scheduler {
+	cfg = cfg.Normalize()
+	s := &Scheduler{
+		cfg:     cfg,
+		yielded: make(chan struct{}),
+		fifo:    make(map[[2]int]float64),
+	}
+	return s
+}
+
+// Run executes the bodies to completion (or stop) and returns the largest
+// process clock reached. It must be called exactly once.
+func (s *Scheduler) Run(bodies []runenv.Body) float64 {
+	if len(bodies) == 0 {
+		return 0
+	}
+	s.procs = make([]*proc, len(bodies))
+	for i := range bodies {
+		p := &proc{
+			id:     i,
+			resume: make(chan struct{}),
+			rng:    rand.New(rand.NewSource(s.cfg.Seed + int64(i)*7919)),
+			sched:  s,
+		}
+		s.procs[i] = p
+		body := bodies[i]
+		go func() {
+			<-p.resume
+			body(&env{p: p})
+			p.finished = true
+			s.yielded <- struct{}{}
+		}()
+	}
+	// Kick every process off at t=0, in rank order.
+	for _, p := range s.procs {
+		if !p.finished {
+			s.runProc(p)
+		}
+	}
+	for {
+		if s.allFinished() {
+			break
+		}
+		if s.events.Len() == 0 {
+			// No future events: either everyone who is alive waits on a
+			// message that will never come (deadlock), or a process is
+			// stopped mid-unwind.
+			s.Deadlocked = s.anyWaiting()
+			s.stopWorld()
+			break
+		}
+		ev := s.events.popEv()
+		if s.cfg.MaxTime > 0 && ev.t > s.cfg.MaxTime {
+			s.TimedOut = true
+			s.stopWorld()
+			break
+		}
+		p := s.procs[ev.proc]
+		switch ev.kind {
+		case evWake:
+			if p.finished {
+				continue
+			}
+			p.sleeping = false
+			p.clock = ev.t
+			s.runProc(p)
+		case evDeliver:
+			if p.finished {
+				continue
+			}
+			m := ev.msg
+			m.RecvT = ev.t
+			p.mailbox = append(p.mailbox, m)
+			if p.waiting {
+				p.waiting = false
+				if ev.t > p.clock {
+					p.clock = ev.t
+				}
+				s.runProc(p)
+			}
+		}
+	}
+	end := 0.0
+	for _, p := range s.procs {
+		if p.clock > end {
+			end = p.clock
+		}
+	}
+	return end
+}
+
+// stopWorld sets the stop flag and lets every live process observe it and
+// unwind. Processes blocked in RecvWait are resumed; processes with a
+// pending wake get it delivered immediately.
+func (s *Scheduler) stopWorld() {
+	s.stopped = true
+	for {
+		progressed := false
+		for _, p := range s.procs {
+			if p.finished {
+				continue
+			}
+			if p.waiting || p.sleeping {
+				p.waiting = false
+				p.sleeping = false
+				s.runProc(p)
+				progressed = true
+			}
+		}
+		if !progressed {
+			if !s.allFinished() {
+				// A live process yielded without blocking primitives —
+				// cannot happen with the current env implementation.
+				panic(fmt.Sprintf("vtime: stopWorld stalled with %d live processes", s.liveCount()))
+			}
+			return
+		}
+		if s.allFinished() {
+			return
+		}
+	}
+}
+
+func (s *Scheduler) allFinished() bool {
+	for _, p := range s.procs {
+		if !p.finished {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Scheduler) liveCount() int {
+	n := 0
+	for _, p := range s.procs {
+		if !p.finished {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) anyWaiting() bool {
+	for _, p := range s.procs {
+		if !p.finished && p.waiting {
+			return true
+		}
+	}
+	return false
+}
+
+// runProc hands control to p until it yields back.
+func (s *Scheduler) runProc(p *proc) {
+	p.resume <- struct{}{}
+	<-s.yielded
+}
+
+// yield returns control from the running process to the scheduler and blocks
+// until the scheduler resumes this process.
+func (p *proc) yield() {
+	p.sched.yielded <- struct{}{}
+	<-p.resume
+}
+
+func (s *Scheduler) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// env adapts a proc to runenv.Env. All methods are called only while the
+// process is the (single) running process, so no locking is needed.
+type env struct {
+	p *proc
+}
+
+func (e *env) Rank() int     { return e.p.id }
+func (e *env) NumProcs() int { return len(e.p.sched.procs) }
+func (e *env) Now() float64  { return e.p.clock }
+
+func (e *env) Work(units float64) {
+	s := e.p.sched
+	if s.stopped || units <= 0 {
+		return
+	}
+	d := s.cfg.ComputeTime(e.p.id, e.p.clock, units)
+	e.sleepFor(d)
+}
+
+func (e *env) Sleep(seconds float64) {
+	if e.p.sched.stopped || seconds <= 0 {
+		return
+	}
+	e.sleepFor(seconds)
+}
+
+func (e *env) sleepFor(d float64) {
+	s := e.p.sched
+	e.p.sleeping = true
+	s.events.pushEv(event{t: e.p.clock + d, seq: s.nextSeq(), kind: evWake, proc: e.p.id})
+	e.p.yield()
+}
+
+func (e *env) Send(to, kind int, payload any, bytes int) float64 {
+	s := e.p.sched
+	if to < 0 || to >= len(s.procs) {
+		panic(fmt.Sprintf("vtime: send to invalid process %d", to))
+	}
+	arrival := e.p.clock + s.cfg.Delay(e.p.id, to, bytes, e.p.clock)
+	key := [2]int{e.p.id, to}
+	if last, ok := s.fifo[key]; ok && arrival < last {
+		arrival = last
+	}
+	s.fifo[key] = arrival
+	m := runenv.Msg{
+		From: e.p.id, To: to, Kind: kind, Payload: payload, Bytes: bytes,
+		SendT: e.p.clock, Seq: s.nextSeq(),
+	}
+	s.events.pushEv(event{t: arrival, seq: m.Seq, kind: evDeliver, proc: to, msg: m})
+	return arrival
+}
+
+func (e *env) Recv() (runenv.Msg, bool) {
+	p := e.p
+	if len(p.mailbox) == 0 {
+		return runenv.Msg{}, false
+	}
+	m := p.mailbox[0]
+	p.mailbox = p.mailbox[1:]
+	return m, true
+}
+
+func (e *env) RecvWait() (runenv.Msg, bool) {
+	p := e.p
+	for len(p.mailbox) == 0 {
+		if p.sched.stopped {
+			return runenv.Msg{}, false
+		}
+		p.waiting = true
+		p.yield()
+	}
+	m := p.mailbox[0]
+	p.mailbox = p.mailbox[1:]
+	return m, true
+}
+
+func (e *env) Stopped() bool { return e.p.sched.stopped }
+
+func (e *env) Stop() { e.p.sched.stopped = true }
+
+func (e *env) Rand() *rand.Rand { return e.p.rng }
+
+func (e *env) Trace(ev trace.Event) {
+	if t := e.p.sched.cfg.Trace; t != nil {
+		t.Add(ev)
+	}
+}
+
+// Runner adapts the scheduler to runenv.Runner.
+type Runner struct{}
+
+// Run implements runenv.Runner by executing the bodies on a fresh scheduler.
+func (Runner) Run(cfg runenv.Config, bodies []runenv.Body) float64 {
+	return New(cfg).Run(bodies)
+}
