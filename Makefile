@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-json check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The engine and the experiment worker pool must stay race-clean; the full
+# suite under -race is slow on small hosts, hence the generous timeout.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .
+
+# Regenerate the PR's benchmark record (see README "Performance").
+BENCH_OUT ?= BENCH_1.json
+bench-json:
+	$(GO) test -run NONE -bench . -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+check: build vet test

@@ -1,0 +1,168 @@
+// Command benchjson converts `go test -bench` output into a JSON record so
+// the performance trajectory of the repository can be tracked across PRs
+// (BENCH_1.json, BENCH_2.json, ...).
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_1.json -note "PR 1"
+//
+// It reads the benchmark text on stdin (or from -i), keeps the metadata
+// lines (goos, goarch, pkg, cpu) and every benchmark result line, and
+// writes one JSON document. Unrecognized lines are ignored, so the input
+// may be a full `go test` transcript.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with any -N GOMAXPROCS suffix removed.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem (nil otherwise).
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any other "value unit" pairs (custom b.ReportMetric units).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	Note       string      `json:"note,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		inPath  = flag.String("i", "", "input file (default stdin)")
+		outPath = flag.String("o", "", "output file (default stdout)")
+		note    = flag.String("note", "", "free-form note stored in the document")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := Parse(in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	doc.Note = *note
+	if len(doc.Benchmarks) == 0 {
+		fatalf("no benchmark lines found in input")
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	blob = append(blob, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *outPath)
+}
+
+// Parse reads a `go test -bench` transcript and extracts the document.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkAIACSolve-4   20   9403295 ns/op   436405 B/op   2776 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// the rest is "value unit" pairs
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			v := int64(val)
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := int64(val)
+			b.AllocsPerOp = &v
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[unit] = val
+		}
+	}
+	return b, sawNs
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

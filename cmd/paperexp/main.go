@@ -8,6 +8,11 @@
 //	paperexp -scale quick    # everything at smoke-test scale (seconds)
 //	paperexp -exp fig5       # one experiment
 //	paperexp -o results/     # also write one text file per experiment
+//	paperexp -workers 1      # force serial engine runs (bit-identical outputs)
+//
+// Independent engine runs within an experiment are fanned across
+// GOMAXPROCS cores by default; results are collected in case order, so the
+// reports do not depend on the worker count.
 package main
 
 import (
@@ -25,8 +30,10 @@ func main() {
 		expName = flag.String("exp", "all", "experiment id: all, fig1-4, fig5, table1, x1...x6")
 		scaleN  = flag.String("scale", "full", "scale: quick, full")
 		outDir  = flag.String("o", "", "directory to write per-experiment text files")
+		workers = flag.Int("workers", 0, "concurrent engine runs (0 = GOMAXPROCS, 1 = serial); outputs are identical at any setting")
 	)
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	var scale experiments.Scale
 	switch strings.ToLower(*scaleN) {

@@ -1,0 +1,27 @@
+package brusselator
+
+import "testing"
+
+// TestUpdateAllocFree pins the hot-path property the engine relies on: one
+// waveform sweep of a cell performs zero heap allocations (the Newton system
+// is a stack value and all trajectory buffers are caller-owned).
+func TestUpdateAllocFree(t *testing.T) {
+	p := DefaultParams(8, 0.02)
+	p.T = 1
+	prob := New(p)
+	m := prob.Components()
+	old := make([][]float64, m)
+	cur := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		old[j] = prob.Init(j)
+		cur[j] = make([]float64, prob.TrajLen())
+	}
+	get := func(i int) []float64 { return old[i] }
+	k := m / 2
+	allocs := testing.AllocsPerRun(200, func() {
+		prob.Update(k, old[k], get, cur[k])
+	})
+	if allocs != 0 {
+		t.Fatalf("brusselator.Update allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -169,56 +169,98 @@ func FinalState(state [][]float64) [][2]float64 {
 	return out
 }
 
+// cellSys is the 2×2 implicit-Euler system of one Brusselator cell at one
+// time step:
+//
+//	f1 = u − uPrev − dt·(1 + u²v − 4u + c·(uL − 2u + uR))
+//	f2 = v − vPrev − dt·(3u − u²v + c·(vL − 2v + vR))
+//
+// Update itself runs solver.Newton2Bruss, the hand-inlined version of this
+// system; cellSys is kept as the readable reference the tests check the
+// specialized kernel against, iterate for iterate. Eval therefore evaluates
+// the same reassociated expressions as Newton2Bruss — operation for
+// operation, so the iterates agree bitwise, not just to rounding.
+type cellSys struct {
+	dt, c          float64
+	uPrev, vPrev   float64
+	uL, vL, uR, vR float64
+}
+
+// Eval implements solver.Sys2.
+func (s cellSys) Eval(u, v float64) (f1, f2, j11, j12, j21, j22 float64) {
+	dtc := s.dt * s.c
+	a1 := 1 + 4*s.dt + 2*dtc
+	b1 := 1 + 2*dtc
+	ndt3 := -(3 * s.dt)
+	uu := u * u
+	dtuuv := s.dt * uu * v
+	f1 = math.FMA(a1, u, -s.dt-dtc*(s.uL+s.uR)-s.uPrev) - dtuuv
+	f2 = math.FMA(ndt3, u, math.FMA(b1, v, -dtc*(s.vL+s.vR)-s.vPrev)) + dtuuv
+	dt2u := 2 * s.dt * u
+	j11 = math.FMA(dt2u, -v, a1)
+	j12 = -s.dt * uu
+	j21 = math.FMA(dt2u, v, ndt3)
+	j22 = math.FMA(s.dt, uu, b1)
+	return
+}
+
 // Update implements iterative.Problem: one implicit-Euler sweep of cell k
 // over the whole window. Each time step solves the 2×2 nonlinear system for
 // (u, v) jointly by Newton, warm-started from the previous iterate (§5.1's
 // Solve); neighbor-cell trajectories come from the previous outer iteration.
 // The returned work is the total Newton iteration count, which is what makes
 // the cost adaptive: converged cells cost one iteration per step, active
-// cells several.
+// cells several. The sweep performs no heap allocation.
 func (pr *Problem) Update(k int, old []float64, get func(i int) []float64, out []float64) float64 {
+	left, right := pr.neighbors(k, get)
+	out[0], out[1] = old[0], old[1] // the initial condition never changes
+	work, failStep := solver.BrussWindow(pr.p.Dt, pr.c, pr.p.NewtonTol, pr.p.MaxNewton,
+		pr.steps, left, right, old, out)
+	if failStep != 0 {
+		panic(newtonFailure(k, failStep, pr.p.MaxNewton))
+	}
+	return work
+}
+
+// UpdatePair implements iterative.PairUpdater: two cells advanced by one
+// fused window solve with their Newton chains interleaved. Bit-identical
+// to Update(j1) followed by Update(j2) — the caller must guarantee Jacobi
+// reads (both cells see previous-iteration neighbor trajectories).
+func (pr *Problem) UpdatePair(j1, j2 int, old1, old2 []float64, get func(i int) []float64, out1, out2 []float64) (w1, w2 float64) {
+	left1, right1 := pr.neighbors(j1, get)
+	left2, right2 := pr.neighbors(j2, get)
+	out1[0], out1[1] = old1[0], old1[1]
+	out2[0], out2[1] = old2[0], old2[1]
+	w1, w2, fail1, fail2 := solver.BrussWindowPair(pr.p.Dt, pr.c, pr.p.NewtonTol, pr.p.MaxNewton,
+		pr.steps, left1, right1, old1, out1, left2, right2, old2, out2)
+	if fail1 != 0 {
+		panic(newtonFailure(j1, fail1, pr.p.MaxNewton))
+	}
+	if fail2 != 0 {
+		panic(newtonFailure(j2, fail2, pr.p.MaxNewton))
+	}
+	return w1, w2
+}
+
+// neighbors resolves a cell's halo trajectories, substituting the constant
+// boundary trajectory at the domain edges.
+func (pr *Problem) neighbors(k int, get func(i int) []float64) (left, right []float64) {
 	if k < 0 || k >= pr.p.N {
 		panic(fmt.Sprintf("brusselator: cell %d out of range", k))
 	}
-	dt, c := pr.p.Dt, pr.c
-	left := pr.bound
+	left = pr.bound
 	if k > 0 {
 		left = get(k - 1)
 	}
-	right := pr.bound
+	right = pr.bound
 	if k < pr.p.N-1 {
 		right = get(k + 1)
 	}
-	work := 0.0
-	out[0], out[1] = old[0], old[1] // the initial condition never changes
-	for t := 1; t <= pr.steps; t++ {
-		uPrev, vPrev := out[2*(t-1)], out[2*(t-1)+1]
-		uL, vL := left[2*t], left[2*t+1]
-		uR, vR := right[2*t], right[2*t+1]
-		g := func(u, v float64) (f1, f2, j11, j12, j21, j22 float64) {
-			uu := u * u
-			f1 = u - uPrev - dt*(1+uu*v-4*u+c*(uL-2*u+uR))
-			f2 = v - vPrev - dt*(3*u-uu*v+c*(vL-2*v+vR))
-			j11 = 1 - dt*(2*u*v-4-2*c)
-			j12 = -dt * uu
-			j21 = -dt * (3 - 2*u*v)
-			j22 = 1 + dt*(uu+2*c)
-			return
-		}
-		u, v, iters, err := solver.Newton2(g, old[2*t], old[2*t+1], pr.p.NewtonTol, pr.p.MaxNewton)
-		work += float64(iters)
-		if err != nil {
-			// Retry from the previous time level: early in the outer
-			// iteration the waveform iterate can be a poor start.
-			u, v, iters, err = solver.Newton2(g, uPrev, vPrev, pr.p.NewtonTol, pr.p.MaxNewton)
-			work += float64(iters)
-			if err != nil {
-				panic(fmt.Sprintf("brusselator: Newton failed at cell %d step %d: %v", k, t, err))
-			}
-		}
-		out[2*t], out[2*t+1] = u, v
-	}
-	return work
+	return left, right
+}
+
+func newtonFailure(k, step, maxNewton int) string {
+	return fmt.Sprintf("brusselator: Newton failed at cell %d step %d (singular Jacobian or no convergence in %d iterations)", k, step, maxNewton)
 }
 
 // U extracts the u trajectory of a cell from its interleaved trajectory.
@@ -239,4 +281,7 @@ func V(traj []float64) []float64 {
 	return out
 }
 
-var _ iterative.Problem = (*Problem)(nil)
+var (
+	_ iterative.Problem     = (*Problem)(nil)
+	_ iterative.PairUpdater = (*Problem)(nil)
+)

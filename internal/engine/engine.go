@@ -20,7 +20,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"aiac/internal/detect"
 	"aiac/internal/grid"
@@ -428,14 +427,4 @@ func partition(m, p, rank int) (lo, hi int) {
 	lo = rank * m / p
 	hi = (rank + 1) * m / p
 	return lo, hi
-}
-
-// sortedKeys returns the map's keys in increasing order.
-func sortedKeys(m map[int][]float64) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }

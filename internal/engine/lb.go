@@ -55,14 +55,14 @@ func (n *node) tryLB(dir int) bool {
 		pos = n.startC
 		for i := 0; i < count; i++ {
 			j := n.startC + i
-			keep[j] = n.val[j]
-			comps = append(comps, cloneTraj(n.val[j]))
+			keep[j] = n.val.get(j)
+			comps = append(comps, cloneTraj(n.val.get(j)))
 		}
 		for i := 0; i < n.halo; i++ {
-			comps = append(comps, cloneTraj(n.val[n.startC+count+i]))
+			comps = append(comps, cloneTraj(n.val.get(n.startC+count+i)))
 		}
 		for j := n.startC - n.halo; j < n.startC; j++ {
-			if tr, ok := n.val[j]; ok {
+			if tr := n.val.get(j); tr != nil {
 				keep[j] = tr
 			}
 		}
@@ -72,15 +72,15 @@ func (n *node) tryLB(dir int) bool {
 		// deps first, then our last `count` components
 		pos = n.endC - count - n.halo
 		for i := 0; i < n.halo; i++ {
-			comps = append(comps, cloneTraj(n.val[pos+i]))
+			comps = append(comps, cloneTraj(n.val.get(pos+i)))
 		}
 		for i := 0; i < count; i++ {
 			j := n.endC - count + i
-			keep[j] = n.val[j]
-			comps = append(comps, cloneTraj(n.val[j]))
+			keep[j] = n.val.get(j)
+			comps = append(comps, cloneTraj(n.val.get(j)))
 		}
 		for j := n.endC; j < n.endC+n.halo; j++ {
-			if tr, ok := n.val[j]; ok {
+			if tr := n.val.get(j); tr != nil {
 				keep[j] = tr
 			}
 		}
@@ -114,18 +114,14 @@ func (n *node) tryLB(dir int) bool {
 // everything else is pruned.
 func (n *node) dropOwnership(lo, hi int) {
 	for j := lo; j < hi; j++ {
-		delete(n.buf, j)
+		n.buf.del(j)
 	}
 	// pruning of val happens lazily in pruneVal after the range moves
 }
 
 // pruneVal discards val entries outside [startC-halo, endC+halo).
 func (n *node) pruneVal() {
-	for j := range n.val {
-		if j < n.startC-n.halo || j >= n.endC+n.halo {
-			delete(n.val, j)
-		}
-	}
+	n.val.prune(n.startC-n.halo, n.endC+n.halo)
 }
 
 // recvLBData handles an incoming transfer (Algorithm 6 plus the ack/reject
@@ -171,22 +167,22 @@ func (n *node) recvLBData(m runenv.Msg) {
 	t0 := n.env.Now()
 	if dir == dirLeft {
 		for i := 0; i < n.halo; i++ {
-			n.val[d.Pos+i] = d.Comps[i] // new left halo (dependencies)
+			n.val.set(d.Pos+i, d.Comps[i]) // new left halo (dependencies)
 		}
 		for i := 0; i < d.Count; i++ {
 			j := d.Pos + n.halo + i
-			n.val[j] = d.Comps[n.halo+i]
-			n.buf[j] = make([]float64, n.trajLen)
+			n.val.set(j, d.Comps[n.halo+i])
+			n.buf.set(j, make([]float64, n.trajLen))
 		}
 		n.startC = d.Pos + n.halo
 	} else {
 		for i := 0; i < d.Count; i++ {
 			j := d.Pos + i
-			n.val[j] = d.Comps[i]
-			n.buf[j] = make([]float64, n.trajLen)
+			n.val.set(j, d.Comps[i])
+			n.buf.set(j, make([]float64, n.trajLen))
 		}
 		for i := 0; i < n.halo; i++ {
-			n.val[d.Pos+d.Count+i] = d.Comps[d.Count+i] // new right halo
+			n.val.set(d.Pos+d.Count+i, d.Comps[d.Count+i]) // new right halo
 		}
 		n.endC = d.Pos + d.Count
 	}
@@ -279,9 +275,9 @@ func (n *node) restoreLB(dir int) {
 		ownLo, ownHi = pos+n.halo, pos+n.halo+count
 	}
 	for j, tr := range n.lbKeep[dir] {
-		n.val[j] = tr
+		n.val.set(j, tr)
 		if j >= ownLo && j < ownHi {
-			n.buf[j] = make([]float64, n.trajLen)
+			n.buf.set(j, make([]float64, n.trajLen))
 		}
 	}
 	if dir == dirLeft {

@@ -46,14 +46,21 @@ type node struct {
 	p    int
 	det  int // detector rank
 
-	prob    iterative.Problem
-	halo    int
-	m       int // total components
-	trajLen int
+	prob iterative.Problem
+	// pairProb is prob's optional fused two-component update, used for
+	// Jacobi sweeps (nil, or unused, under local Gauss-Seidel where
+	// component j+1 must observe j's fresh trajectory).
+	pairProb iterative.PairUpdater
+	halo     int
+	m        int // total components
+	trajLen  int
 
 	startC, endC int
-	val          map[int][]float64 // previous-iteration trajectories + halos
-	buf          map[int][]float64 // scratch buffers for owned components
+	val          compStore // previous-iteration trajectories + halos
+	buf          compStore // scratch buffers for owned components
+	// getFn is n.get as a prebuilt func value: materializing the method
+	// value inside the sweep loop would allocate a closure per Update call.
+	getFn func(i int) []float64
 
 	residual    float64 // last completed iteration's residual
 	iterTime    float64 // duration of the last compute sweep
@@ -102,19 +109,23 @@ func newNode(env runenv.Env, cfg *Config, rank int) *node {
 		halo:    cfg.Problem.Halo(),
 		m:       cfg.Problem.Components(),
 		trajLen: cfg.Problem.TrajLen(),
-		val:     make(map[int][]float64),
-		buf:     make(map[int][]float64),
 		nbIter:  [2]int{-1, -1},
 		okToTry: cfg.LBWarmup,
 	}
+	n.getFn = n.get
+	if !cfg.GaussSeidelLocal {
+		n.pairProb, _ = cfg.Problem.(iterative.PairUpdater)
+	}
 	n.startC, n.endC = partition(n.m, n.p, rank)
+	n.val.reset(n.startC-n.halo, n.endC+n.halo)
+	n.buf.reset(n.startC, n.endC)
 	for j := n.startC - n.halo; j < n.endC+n.halo; j++ {
 		if j < 0 || j >= n.m {
 			continue
 		}
-		n.val[j] = n.prob.Init(j)
+		n.val.set(j, n.prob.Init(j))
 		if j >= n.startC && j < n.endC {
-			n.buf[j] = make([]float64, n.trajLen)
+			n.buf.set(j, make([]float64, n.trajLen))
 		}
 	}
 	if cfg.Mode != SISC {
@@ -160,12 +171,12 @@ func (n *node) run() *nodeOutcome {
 			n.restoreLB(dir)
 		}
 	}
-	for _, j := range sortedKeys(n.val) {
-		if j >= n.startC && j < n.endC {
-			n.outc.positions = append(n.outc.positions, j)
-			n.outc.trajs = append(n.outc.trajs, n.val[j])
-			n.outc.provisional = append(n.outc.provisional, restored[j])
-		}
+	// The owned range is contiguous, so a plain position scan yields the
+	// sorted order the gather expects (the seed sorted the map keys here).
+	for j := n.startC; j < n.endC; j++ {
+		n.outc.positions = append(n.outc.positions, j)
+		n.outc.trajs = append(n.outc.trajs, n.val.get(j))
+		n.outc.provisional = append(n.outc.provisional, restored[j])
 	}
 	n.outc.iters = n.iter
 	n.outc.residual = n.residual
@@ -265,9 +276,26 @@ func (n *node) sweep(midSendLeft bool) {
 	}
 	n.inSweep = true
 	idx := 0
+	var w2 float64
+	pending2 := false
 	for j := n.startC; j < n.endC; j++ {
-		n.sweepPos = j
-		w := n.prob.Update(j, n.val[j], n.get, n.buf[j])
+		var w float64
+		switch {
+		case pending2:
+			// second half of a fused update, already computed
+			w, pending2 = w2, false
+		case n.pairProb != nil && j+1 < n.endC:
+			// Fused two-component update: bit-identical results, but the
+			// two inner solves overlap. Work is charged per component in
+			// the original order, so virtual times and the mid-sweep send
+			// point are unchanged.
+			w, w2 = n.pairProb.UpdatePair(j, j+1,
+				n.val.get(j), n.val.get(j+1), n.getFn, n.buf.get(j), n.buf.get(j+1))
+			pending2 = true
+		default:
+			n.sweepPos = j
+			w = n.prob.Update(j, n.val.get(j), n.getFn, n.buf.get(j))
+		}
 		units := w*cfg.WorkScale + cfg.CompOverhead
 		n.env.Work(units)
 		n.outc.work += units
@@ -283,10 +311,10 @@ func (n *node) sweep(midSendLeft bool) {
 	}
 	res := 0.0
 	for j := n.startC; j < n.endC; j++ {
-		if r := iterative.Residual(n.val[j], n.buf[j]); r > res {
+		if r := iterative.Residual(n.val.get(j), n.buf.get(j)); r > res {
 			res = r
 		}
-		n.val[j], n.buf[j] = n.buf[j], n.val[j]
+		n.val.swap(&n.buf, j)
 	}
 	n.inSweep = false
 	n.residual = res
@@ -311,12 +339,12 @@ func (n *node) sweep(midSendLeft bool) {
 // updated in the current sweep.
 func (n *node) get(i int) []float64 {
 	if n.cfg.GaussSeidelLocal && n.inSweep && i >= n.startC && i < n.sweepPos {
-		if tr, ok := n.buf[i]; ok {
+		if tr := n.buf.get(i); tr != nil {
 			return tr
 		}
 	}
-	tr, ok := n.val[i]
-	if !ok {
+	tr := n.val.get(i)
+	if tr == nil {
 		panic(fmt.Sprintf("engine: node %d accessed unknown component %d (owns [%d,%d))",
 			n.rank, i, n.startC, n.endC))
 	}
@@ -371,9 +399,9 @@ func (n *node) sendBoundary(dir int, load float64, iterTag int) {
 // component: during a sweep (before the swap) that is buf, afterwards val.
 func (n *node) newest(j int) []float64 {
 	if n.inSweep {
-		return n.buf[j]
+		return n.buf.get(j)
 	}
-	return n.val[j]
+	return n.val.get(j)
 }
 
 // drain processes every pending message without blocking.
@@ -513,7 +541,7 @@ func (n *node) recvBoundary(m runenv.Msg) {
 		return // the ranges are shifting under load balancing: drop
 	}
 	for i, tr := range b.Comps {
-		n.val[b.Pos+i] = tr
+		n.val.set(b.Pos+i, tr)
 	}
 }
 

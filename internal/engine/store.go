@@ -1,0 +1,113 @@
+package engine
+
+// compStore maps global component positions to trajectories. It replaces the
+// map[int][]float64 stores the nodes originally used: get() runs once per
+// component per sweep — the innermost engine operation after the numerical
+// kernel itself — and a map hit there costs a hash plus a bucket probe where
+// a slice index costs a subtraction and a bounds check.
+//
+// The store is a window [base, base+len(trajs)) of slots over the global
+// position axis. A node's window is its owned range plus the halos; load
+// balancing shifts the range boundaries a few positions per transfer, and
+// the store re-bases (with slack on the growing side) when a position falls
+// outside the current window, so a drifting range stays amortized O(1) per
+// set. Absent positions hold nil, exactly like a missing map key.
+type compStore struct {
+	base  int
+	trajs [][]float64
+}
+
+// storeSlack is how many extra slots a re-base adds on the growing side.
+const storeSlack = 8
+
+// reset sizes the store to the empty window [lo, hi), reusing the backing
+// slice when possible.
+func (s *compStore) reset(lo, hi int) {
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	s.base = lo
+	if cap(s.trajs) >= n {
+		s.trajs = s.trajs[:n]
+		for i := range s.trajs {
+			s.trajs[i] = nil
+		}
+		return
+	}
+	s.trajs = make([][]float64, n)
+}
+
+// get returns the trajectory at global position j, or nil when absent. This
+// is the hot path.
+func (s *compStore) get(j int) []float64 {
+	i := j - s.base
+	if i < 0 || i >= len(s.trajs) {
+		return nil
+	}
+	return s.trajs[i]
+}
+
+// set stores tr at global position j, re-basing the window if j falls
+// outside it.
+func (s *compStore) set(j int, tr []float64) {
+	i := j - s.base
+	if i < 0 || i >= len(s.trajs) {
+		s.grow(j)
+		i = j - s.base
+	}
+	s.trajs[i] = tr
+}
+
+// del clears global position j (out-of-window positions are already absent).
+func (s *compStore) del(j int) {
+	i := j - s.base
+	if i >= 0 && i < len(s.trajs) {
+		s.trajs[i] = nil
+	}
+}
+
+// swap exchanges the trajectories at global position j between two stores;
+// both positions must be inside their windows (owned components always are).
+func (s *compStore) swap(o *compStore, j int) {
+	si, oi := j-s.base, j-o.base
+	s.trajs[si], o.trajs[oi] = o.trajs[oi], s.trajs[si]
+}
+
+// grow re-bases the window to include global position j, with storeSlack
+// spare slots on the side that grew.
+func (s *compStore) grow(j int) {
+	if len(s.trajs) == 0 {
+		s.base = j
+		if cap(s.trajs) >= 1 {
+			s.trajs = s.trajs[:1]
+			s.trajs[0] = nil
+			return
+		}
+		s.trajs = make([][]float64, 1, 1+storeSlack)
+		return
+	}
+	lo, hi := s.base, s.base+len(s.trajs)
+	switch {
+	case j < lo:
+		lo = j - storeSlack
+	case j >= hi:
+		hi = j + 1 + storeSlack
+	default:
+		return
+	}
+	nt := make([][]float64, hi-lo)
+	copy(nt[s.base-lo:], s.trajs)
+	s.base, s.trajs = lo, nt
+}
+
+// prune clears every position outside [lo, hi), mirroring the map-delete
+// sweep the engine runs after a load-balancing range move.
+func (s *compStore) prune(lo, hi int) {
+	for i := range s.trajs {
+		j := s.base + i
+		if (j < lo || j >= hi) && s.trajs[i] != nil {
+			s.trajs[i] = nil
+		}
+	}
+}

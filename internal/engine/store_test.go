@@ -1,0 +1,101 @@
+package engine
+
+import "testing"
+
+func tr(v float64) []float64 { return []float64{v} }
+
+func TestCompStoreBasic(t *testing.T) {
+	var s compStore
+	s.reset(4, 8)
+	if s.get(3) != nil || s.get(4) != nil || s.get(8) != nil {
+		t.Fatal("fresh store must be empty")
+	}
+	s.set(4, tr(1))
+	s.set(7, tr(2))
+	if got := s.get(4); got == nil || got[0] != 1 {
+		t.Fatalf("get(4) = %v", got)
+	}
+	if got := s.get(7); got == nil || got[0] != 2 {
+		t.Fatalf("get(7) = %v", got)
+	}
+	s.del(4)
+	if s.get(4) != nil {
+		t.Fatal("del(4) did not clear the slot")
+	}
+	s.del(100) // out of window: no-op, no panic
+}
+
+func TestCompStoreGrowBothSides(t *testing.T) {
+	var s compStore
+	s.reset(10, 12)
+	s.set(10, tr(10))
+	s.set(11, tr(11))
+	// grow left past the window, one position at a time (an LB stream)
+	for j := 9; j >= 0; j-- {
+		s.set(j, tr(float64(j)))
+	}
+	// grow right likewise
+	for j := 12; j < 24; j++ {
+		s.set(j, tr(float64(j)))
+	}
+	for j := 0; j < 24; j++ {
+		got := s.get(j)
+		if got == nil || got[0] != float64(j) {
+			t.Fatalf("get(%d) = %v after growth", j, got)
+		}
+	}
+}
+
+func TestCompStoreZeroValueSet(t *testing.T) {
+	var s compStore
+	s.set(5, tr(5))
+	if got := s.get(5); got == nil || got[0] != 5 {
+		t.Fatalf("get(5) = %v on zero-value store", got)
+	}
+	s.set(3, tr(3))
+	s.set(9, tr(9))
+	for _, j := range []int{3, 5, 9} {
+		if got := s.get(j); got == nil || got[0] != float64(j) {
+			t.Fatalf("get(%d) = %v", j, got)
+		}
+	}
+}
+
+func TestCompStorePruneAndSwap(t *testing.T) {
+	var a, b compStore
+	a.reset(0, 6)
+	b.reset(0, 6)
+	for j := 0; j < 6; j++ {
+		a.set(j, tr(float64(j)))
+		b.set(j, tr(float64(j)+100))
+	}
+	a.swap(&b, 2)
+	if a.get(2)[0] != 102 || b.get(2)[0] != 2 {
+		t.Fatalf("swap failed: a=%v b=%v", a.get(2), b.get(2))
+	}
+	a.prune(2, 4)
+	for j := 0; j < 6; j++ {
+		got := a.get(j)
+		if j >= 2 && j < 4 {
+			if got == nil {
+				t.Fatalf("prune cleared in-range position %d", j)
+			}
+		} else if got != nil {
+			t.Fatalf("prune kept out-of-range position %d", j)
+		}
+	}
+}
+
+func TestCompStoreResetReuses(t *testing.T) {
+	var s compStore
+	s.reset(0, 8)
+	for j := 0; j < 8; j++ {
+		s.set(j, tr(float64(j)))
+	}
+	s.reset(2, 6)
+	for j := 2; j < 6; j++ {
+		if s.get(j) != nil {
+			t.Fatalf("reset left stale data at %d", j)
+		}
+	}
+}

@@ -35,16 +35,25 @@ func ModeMatrix(scale Scale) Report {
 		{engine.AIAC, false, "AIAC"},
 		{engine.AIAC, true, "AIAC+LB"},
 	}
-	times := map[string][2]float64{}
-	tab := stats.NewTable("version", "local cluster (s)", "grid (s)")
+	contexts := []*grid.Cluster{local, remote}
+	cfgs := make([]engine.Config, 0, len(cells)*len(contexts))
 	for _, c := range cells {
-		var t [2]float64
-		for ctx, cl := range []*grid.Cluster{local, remote} {
+		for _, cl := range contexts {
 			cfg := baseCfg(bc, c.mode, p, cl, 9)
 			if c.lb {
 				cfg.LB = lbPolicy(20)
 			}
-			res := run(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(cfgs)
+
+	times := map[string][2]float64{}
+	tab := stats.NewTable("version", "local cluster (s)", "grid (s)")
+	for ci, c := range cells {
+		var t [2]float64
+		for ctx := range contexts {
+			res := results[ci*len(contexts)+ctx]
 			if !res.Converged {
 				panic("experiments: mode matrix run did not converge: " + c.name)
 			}
@@ -82,9 +91,7 @@ func LBFrequency(scale Scale) Report {
 	}
 	cl := grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 7, MultiUser: true})
 	periods := []int{1, 5, 20, 100, 500}
-	times := make([]float64, len(periods))
-	moved := make([]int, len(periods))
-	tab := stats.NewTable("period (iters)", "time (s)", "transfers", "comps moved")
+	cfgs := make([]engine.Config, len(periods))
 	for i, per := range periods {
 		cfg := baseCfg(bc, engine.AIAC, 15, cl, 13)
 		// pathological frequencies may thrash forever; bound the cost of
@@ -92,7 +99,15 @@ func LBFrequency(scale Scale) Report {
 		cfg.MaxTime = 500
 		cfg.MaxIter = 60000
 		cfg.LB = lbPolicy(per)
-		res := run(cfg)
+		cfgs[i] = cfg
+	}
+	results := runAll(cfgs)
+
+	times := make([]float64, len(periods))
+	moved := make([]int, len(periods))
+	tab := stats.NewTable("period (iters)", "time (s)", "transfers", "comps moved")
+	for i, per := range periods {
+		res := results[i]
 		if !res.Converged {
 			times[i] = math.Inf(1) // DNF: over-frequent balancing thrashed
 			moved[i] = res.LBCompsMoved
@@ -141,11 +156,9 @@ func LBAccuracy(scale Scale) Report {
 		{"fast net", grid.Link{Latency: 1e-4, Bandwidth: 1e7}},
 		{"slow net", grid.Link{Latency: 3e-2, Bandwidth: 1e5}},
 	}
-	tab := stats.NewTable("lambda", "time fast net (s)", "time slow net (s)")
-	times := [2][]float64{}
+	cfgs := make([]engine.Config, 0, len(lambdas)*len(nets))
 	for _, l := range lambdas {
-		row := []any{l}
-		for ni, net := range nets {
+		for _, net := range nets {
 			cl := grid.Heterogeneous(8, 0.3, 21)
 			cl.Intra = net.link
 			cfg := baseCfg(bc, engine.AIAC, 8, cl, 17)
@@ -155,7 +168,17 @@ func LBAccuracy(scale Scale) Report {
 			pol := lbPolicy(20)
 			pol.Lambda = l
 			cfg.LB = pol
-			res := run(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(cfgs)
+
+	tab := stats.NewTable("lambda", "time fast net (s)", "time slow net (s)")
+	times := [2][]float64{}
+	for li, l := range lambdas {
+		row := []any{l}
+		for ni := range nets {
+			res := results[li*len(nets)+ni]
 			if !res.Converged {
 				// a DNF is itself the finding: too much migration
 				// overloads the network, exactly the §6 warning.
@@ -210,29 +233,35 @@ func LBEstimator(scale Scale) Report {
 		loadbalance.EstimatorIterTime,
 		loadbalance.EstimatorCount,
 	}
-	tab := stats.NewTable("estimator", "time (s)", "transfers", "comps moved")
-	times := make([]float64, len(ests))
-	for i, est := range ests {
+	cfgs := make([]engine.Config, 0, len(ests)+2)
+	for _, est := range ests {
 		cfg := baseCfg(bc, engine.AIAC, 15, cl, 23)
 		pol := lbPolicy(20)
 		pol.Estimator = est
 		cfg.LB = pol
-		res := run(cfg)
-		if !res.Converged {
-			panic("experiments: estimator run did not converge")
-		}
-		times[i] = res.Time
-		tab.AddRow(est.String(), res.Time, res.LBTransfers, res.LBCompsMoved)
+		cfgs = append(cfgs, cfg)
 	}
 	// the paper-literal behavior: raw residual, no smoothing
 	rawCfg := baseCfg(bc, engine.AIAC, 15, cl, 23)
 	rawPol := lbPolicy(20)
 	rawPol.Smoothing = 1
 	rawCfg.LB = rawPol
-	raw := run(rawCfg)
+	cfgs = append(cfgs, rawCfg)
+	cfgs = append(cfgs, baseCfg(bc, engine.AIAC, 15, cl, 23)) // no balancing
+	results := runAll(cfgs)
+
+	tab := stats.NewTable("estimator", "time (s)", "transfers", "comps moved")
+	times := make([]float64, len(ests))
+	for i, est := range ests {
+		res := results[i]
+		if !res.Converged {
+			panic("experiments: estimator run did not converge")
+		}
+		times[i] = res.Time
+		tab.AddRow(est.String(), res.Time, res.LBTransfers, res.LBCompsMoved)
+	}
+	raw, base := results[len(ests)], results[len(ests)+1]
 	tab.AddRow("residual (raw, paper-literal)", raw.Time, raw.LBTransfers, raw.LBCompsMoved)
-	noLB := baseCfg(bc, engine.AIAC, 15, cl, 23)
-	base := run(noLB)
 	tab.AddRow("(no balancing)", base.Time, 0, 0)
 	// shape: the paper's directly testable claim is that residual-driven
 	// balancing helps; whether another estimator is even better is this
@@ -249,16 +278,6 @@ func LBEstimator(scale Scale) Report {
 	}
 }
 
-func minOf(xs []float64) float64 {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
-}
-
 // FamineGuard reproduces Algorithm 5's ThresholdData test: without a
 // minimum-keep guard, slow processors can be drained of data ("the famine
 // phenomenon"); with it, every node keeps a floor of components.
@@ -269,14 +288,20 @@ func FamineGuard(scale Scale) Report {
 	}
 	cl := grid.Heterogeneous(6, 0.15, 19)
 	guards := []int{1, 4, 8}
-	tab := stats.NewTable("MinKeep", "time (s)", "min final count", "max final count")
-	minCounts := make([]int, len(guards))
+	cfgs := make([]engine.Config, len(guards))
 	for i, g := range guards {
 		cfg := baseCfg(bc, engine.AIAC, 6, cl, 29)
 		pol := lbPolicy(10)
 		pol.MinKeep = g
 		cfg.LB = pol
-		res := run(cfg)
+		cfgs[i] = cfg
+	}
+	results := runAll(cfgs)
+
+	tab := stats.NewTable("MinKeep", "time (s)", "min final count", "max final count")
+	minCounts := make([]int, len(guards))
+	for i, g := range guards {
+		res := results[i]
 		if !res.Converged {
 			panic("experiments: famine run did not converge")
 		}

@@ -49,24 +49,37 @@ func FullHorizon(scale Scale) Report {
 		return brusselator.New(p)
 	}
 
-	noLB, err := windowing.Solve(template, windows, factory)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: full horizon without LB: %v", err))
-	}
-	balancedCfg := template
-	balancedCfg.LB = lbPolicy(20)
-	withLB, err := windowing.Solve(balancedCfg, windows, factory)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: full horizon with LB: %v", err))
-	}
-
-	// validate the stitched balanced solution against a single sequential
-	// reference over the whole horizon
+	// The two windowed solves and the sequential reference are mutually
+	// independent (the windows *within* each solve chain serially); fan the
+	// three across the worker pool.
 	full := brusselator.DefaultParams(n, dt)
 	full.T = windowT * float64(windows)
-	ref, _, err := brusselator.Reference(full)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: full horizon reference: %v", err))
+	var (
+		noLB, withLB         *windowing.Result
+		ref                  [][]float64
+		errNo, errLB, errRef error
+	)
+	runTasks(
+		func() { noLB, errNo = windowing.Solve(template, windows, factory) },
+		func() {
+			balancedCfg := template
+			balancedCfg.LB = lbPolicy(20)
+			withLB, errLB = windowing.Solve(balancedCfg, windows, factory)
+		},
+		func() {
+			// validate the stitched balanced solution against a single
+			// sequential reference over the whole horizon
+			ref, _, errRef = brusselator.Reference(full)
+		},
+	)
+	if errNo != nil {
+		panic(fmt.Sprintf("experiments: full horizon without LB: %v", errNo))
+	}
+	if errLB != nil {
+		panic(fmt.Sprintf("experiments: full horizon with LB: %v", errLB))
+	}
+	if errRef != nil {
+		panic(fmt.Sprintf("experiments: full horizon reference: %v", errRef))
 	}
 	stitched := withLB.StitchTrajectories(2)
 	dev := brusselator.MaxTrajDiff(stitched, ref)

@@ -32,15 +32,20 @@ func Mapping(scale Scale) Report {
 		{"irregular (paper)", nil},
 		{"site-ordered", ordered},
 	}
-	tab := stats.NewTable("organization", "time w/o LB (s)", "time with LB (s)", "LB ratio")
-	times := map[string][2]float64{}
+	cfgs := make([]engine.Config, 0, 2*len(rows))
 	for _, r := range rows {
 		cfgNo := baseCfg(bc, engine.AIAC, 15, cl, 37)
 		cfgNo.Mapping = r.mapping
-		resNo := run(cfgNo)
 		cfgLB := cfgNo
 		cfgLB.LB = lbPolicy(20)
-		resLB := run(cfgLB)
+		cfgs = append(cfgs, cfgNo, cfgLB)
+	}
+	results := runAll(cfgs)
+
+	tab := stats.NewTable("organization", "time w/o LB (s)", "time with LB (s)", "LB ratio")
+	times := map[string][2]float64{}
+	for i, r := range rows {
+		resNo, resLB := results[2*i], results[2*i+1]
 		if !resNo.Converged || !resLB.Converged {
 			panic("experiments: mapping run did not converge")
 		}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	if got := SetWorkers(3); got != 0 {
+		t.Fatalf("initial workers = %d, want 0 (default)", got)
+	}
+	if got := SetWorkers(1); got != 3 {
+		t.Fatalf("previous workers = %d, want 3", got)
+	}
+	if n := numWorkers(); n != 1 {
+		t.Fatalf("numWorkers() = %d, want 1", n)
+	}
+	SetWorkers(0)
+	if n := numWorkers(); n < 1 {
+		t.Fatalf("default numWorkers() = %d, want >= 1", n)
+	}
+}
+
+func TestForEachOrderAndCoverage(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	const n = 100
+	var calls atomic.Int64
+	out := forEach(n, func(i int) int {
+		calls.Add(1)
+		return i * i
+	})
+	if calls.Load() != n {
+		t.Fatalf("fn called %d times, want %d", calls.Load(), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d (results must be index-ordered)", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachPanicLowestIndex(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("forEach swallowed the panic")
+		}
+		if r != "boom 3" {
+			t.Fatalf("re-panicked with %v, want the lowest-index panic \"boom 3\"", r)
+		}
+	}()
+	forEach(16, func(i int) int {
+		if i >= 3 && i%2 == 1 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return i
+	})
+}
+
+// TestSerialParallelIdentical is the determinism acceptance check: the same
+// experiment run fully serial and run on the pool must produce bit-identical
+// reports (every engine run is a pure function of its Config, and results
+// are collected by case index).
+func TestSerialParallelIdentical(t *testing.T) {
+	defer SetWorkers(0)
+
+	SetWorkers(1)
+	serialFlow := FlowFigures(Quick)
+	serialFig5 := Fig5(Quick)
+
+	SetWorkers(4)
+	parallelFlow := FlowFigures(Quick)
+	parallelFig5 := Fig5(Quick)
+
+	if !reflect.DeepEqual(serialFlow, parallelFlow) {
+		t.Errorf("FlowFigures: serial and parallel reports differ\nserial:   %+v\nparallel: %+v", serialFlow, parallelFlow)
+	}
+	if !reflect.DeepEqual(serialFig5, parallelFig5) {
+		t.Errorf("Fig5: serial and parallel reports differ\nserial:   %+v\nparallel: %+v", serialFig5, parallelFig5)
+	}
+}

@@ -43,6 +43,19 @@ type Problem interface {
 	Update(j int, old []float64, get func(i int) []float64, out []float64) (work float64)
 }
 
+// PairUpdater is an optional Problem extension. Problems whose component
+// updates are independent within one sweep (Jacobi reads: get serves the
+// previous iterate) may update two components in a single fused call,
+// letting the implementation interleave two independent inner solves for
+// instruction-level parallelism. UpdatePair must be observationally
+// identical to Update(j1) followed by Update(j2): bit-identical outputs
+// and work values. Engines only use it when their neighbor accessor is
+// Jacobi (e.g. not under local Gauss-Seidel, where j2 must observe j1's
+// fresh trajectory).
+type PairUpdater interface {
+	UpdatePair(j1, j2 int, old1, old2 []float64, get func(i int) []float64, out1, out2 []float64) (w1, w2 float64)
+}
+
 // Residual is the per-component convergence measure used throughout: the
 // max-norm distance between successive iterates of a trajectory.
 func Residual(old, new []float64) float64 {

@@ -70,6 +70,22 @@ func (b *Banded) Zero() {
 	b.piv = b.piv[:0]
 }
 
+// CopyFrom makes b an unfactored copy of src, which must have identical
+// dimensions and bandwidths and must not be factored. It performs no
+// allocation, so a template matrix can be restored and refactored
+// repeatedly (factorization destroys the matrix in place).
+func (b *Banded) CopyFrom(src *Banded) {
+	if b.N != src.N || b.KL != src.KL || b.KU != src.KU {
+		panic("linalg: Banded.CopyFrom dimension mismatch")
+	}
+	if src.factored {
+		panic("linalg: Banded.CopyFrom of a factored matrix")
+	}
+	copy(b.ab, src.ab)
+	b.factored = false
+	b.piv = b.piv[:0]
+}
+
 // MulVec computes dst = A*x for an unfactored matrix.
 func (b *Banded) MulVec(x, dst []float64) {
 	if b.factored {
@@ -102,7 +118,11 @@ func (b *Banded) Factor() error {
 		panic("linalg: Banded.Factor called twice")
 	}
 	n, kl, ku := b.N, b.KL, b.KU
-	b.piv = make([]int, n)
+	if cap(b.piv) >= n {
+		b.piv = b.piv[:n]
+	} else {
+		b.piv = make([]int, n)
+	}
 	for j := 0; j < n; j++ {
 		km := kl
 		if n-1-j < km {

@@ -463,3 +463,54 @@ func TestDenseLUForwardAccuracyDominant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBandedCopyFromReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, kl, ku = 32, 2, 2
+	template := randBanded(rng, n, kl, ku, true)
+	rhs0 := make([]float64, n)
+	for i := range rhs0 {
+		rhs0[i] = rng.NormFloat64()
+	}
+
+	// reference: factor a direct clone once
+	ref := NewBanded(n, kl, ku)
+	ref.CopyFrom(template)
+	refRHS := Clone(rhs0)
+	if err := ref.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	ref.Solve(refRHS)
+
+	// reuse one workspace for several factor cycles: every cycle must
+	// reproduce the reference solution exactly (same data, same algorithm)
+	work := NewBanded(n, kl, ku)
+	for cycle := 0; cycle < 3; cycle++ {
+		work.CopyFrom(template)
+		rhs := Clone(rhs0)
+		if err := work.Factor(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		work.Solve(rhs)
+		for i := range rhs {
+			if rhs[i] != refRHS[i] {
+				t.Fatalf("cycle %d: solution[%d] = %g, want %g (bitwise)", cycle, i, rhs[i], refRHS[i])
+			}
+		}
+	}
+
+	// dimension mismatch and factored-source misuse must panic
+	for name, fn := range map[string]func(){
+		"dim mismatch":    func() { NewBanded(n+1, kl, ku).CopyFrom(template) },
+		"factored source": func() { NewBanded(n, kl, ku).CopyFrom(work) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CopyFrom %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -10,18 +10,38 @@ import (
 // [df1/dx df1/dy; df2/dx df2/dy].
 type Func2 func(x, y float64) (f1, f2, j11, j12, j21, j22 float64)
 
+// Eval implements Sys2, so a plain function can drive Newton2Sys.
+func (f Func2) Eval(x, y float64) (f1, f2, j11, j12, j21, j22 float64) { return f(x, y) }
+
+// Sys2 is a 2-dimensional nonlinear system: Eval returns the residual
+// (f1, f2) and the Jacobian [j11 j12; j21 j22] at (x, y).
+type Sys2 interface {
+	Eval(x, y float64) (f1, f2, j11, j12, j21, j22 float64)
+}
+
 // Newton2 solves the 2x2 nonlinear system f(x, y) = 0 with Newton's method
-// and a closed-form Jacobian inverse. It is the inner kernel of the
-// Brusselator cell solve: cheap, allocation-free, and it reports the
-// iteration count used for work accounting (a converged warm start costs
-// exactly one iteration).
+// and a closed-form Jacobian inverse. It reports the iteration count used
+// for work accounting (a converged warm start costs exactly one iteration).
+//
+// Hot paths should prefer Newton2Sys with a concrete struct system: building
+// a Func2 closure allocates its capture block, and every evaluation is an
+// indirect call.
 func Newton2(fn Func2, x0, y0, tol float64, maxIter int) (x, y float64, iters int, err error) {
+	return Newton2Sys(fn, x0, y0, tol, maxIter)
+}
+
+// Newton2Sys is Newton2 generic over the system representation. With a
+// non-pointer struct type argument the compiler emits a specialized
+// instantiation whose Eval calls are direct (and inlinable), making the
+// solve allocation-free — this is the inner kernel of the Brusselator cell
+// solve, run once per grid cell per time step per sweep.
+func Newton2Sys[S Sys2](sys S, x0, y0, tol float64, maxIter int) (x, y float64, iters int, err error) {
 	if maxIter <= 0 {
 		panic("solver: maxIter must be positive")
 	}
 	x, y = x0, y0
 	for iters = 1; iters <= maxIter; iters++ {
-		f1, f2, a, b, c, d := fn(x, y)
+		f1, f2, a, b, c, d := sys.Eval(x, y)
 		if math.Abs(f1) <= tol && math.Abs(f2) <= tol {
 			return x, y, iters, nil
 		}
@@ -29,10 +49,11 @@ func Newton2(fn Func2, x0, y0, tol float64, maxIter int) (x, y float64, iters in
 		if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
 			return x, y, iters, fmt.Errorf("%w: 2x2 determinant %g at (%g, %g)", ErrBadJacobian, det, x, y)
 		}
-		x -= (d*f1 - b*f2) / det
-		y -= (a*f2 - c*f1) / det
+		inv := 1 / det // one reciprocal instead of two dependent divisions
+		x -= (d*f1 - b*f2) * inv
+		y -= (a*f2 - c*f1) * inv
 	}
-	f1, f2, _, _, _, _ := fn(x, y)
+	f1, f2, _, _, _, _ := sys.Eval(x, y)
 	return x, y, maxIter, fmt.Errorf("%w after %d iterations (|F|=%.3g > %.3g)",
 		ErrNoConvergence, maxIter, math.Max(math.Abs(f1), math.Abs(f2)), tol)
 }

@@ -1,0 +1,292 @@
+package solver
+
+import "math"
+
+// Newton2Bruss is the specialized hot path behind the bundled Brusselator
+// kernel: one implicit-Euler time step of a 1-D reaction-diffusion cell,
+//
+//	f1 = u − uPrev − dt·(1 + u²v − 4u + c·(uL − 2u + uR))
+//	f2 = v − vPrev − dt·(3u − u²v + c·(vL − 2v + vR))
+//
+// solved for (u, v) by Newton with a closed-form 2×2 inverse, warm-started
+// at (u0, v0). It is Newton2Sys with the system evaluation inlined by hand
+// and the algebra reassociated around the two unknowns:
+//
+//	f1 = a1·u − dt·u²v + k1        a1 = 1 + 4dt + 2dt·c
+//	f2 = b1·v + dt·u²v − 3dt·u + k2    b1 = 1 + 2dt·c
+//
+// so everything except u and v is hoisted out of the Newton loop: no
+// function-valued callback, no per-call struct, ~half the floating-point
+// operations per iteration on a much shorter dependency chain, and the
+// Jacobian only evaluated when the residual test fails (the common
+// warm-started step converges immediately and never needs it).
+//
+// The uPrev/vPrev subtraction is deliberately the last operation forming
+// k1/k2: in the time-stepping loop that drives this kernel, uPrev is the
+// previous step's result — the serial dependency between steps — while the
+// warm start (u0, v0) comes from the previous outer sweep and is available
+// early. Keeping uPrev out of every other term lets out-of-order hardware
+// compute the whole first Newton update (including its divide) in the
+// shadow of the previous step's tail, which is worth more than any
+// per-operation saving on this latency-bound chain. cellSys in
+// internal/brusselator evaluates the identical reassociated expressions,
+// so the generic Newton2Sys path and this one produce bit-identical
+// iterates.
+//
+// It reports ok=false instead of building an error: the caller's retry logic
+// only branches on failure, and error construction would allocate in the
+// innermost loop. iters counts residual evaluations, like Newton2Sys.
+func Newton2Bruss(dt, c, uPrev, vPrev, uL, vL, uR, vR, u0, v0, tol float64, maxIter int) (u, v float64, iters int, ok bool) {
+	if maxIter <= 0 {
+		panic("solver: maxIter must be positive")
+	}
+	dtc := dt * c
+	a1 := 1 + 4*dt + 2*dtc
+	b1 := 1 + 2*dtc
+	dt2 := 2 * dt
+	ndt3 := -(3 * dt)
+	k1 := -dt - dtc*(uL+uR) - uPrev
+	k2 := -dtc*(vL+vR) - vPrev
+	u, v = u0, v0
+	for iters = 1; iters <= maxIter; iters++ {
+		uu := u * u
+		dtuuv := dt * uu * v
+		f1 := math.FMA(a1, u, k1) - dtuuv
+		f2 := math.FMA(ndt3, u, math.FMA(b1, v, k2)) + dtuuv
+		if math.Abs(f1) <= tol && math.Abs(f2) <= tol {
+			return u, v, iters, true
+		}
+		nv := -v
+		dt2u := dt2 * u
+		a := math.FMA(dt2u, nv, a1)
+		b := -dt * uu
+		cj := math.FMA(dt2u, v, ndt3)
+		d := math.FMA(dt, uu, b1)
+		det := a*d - b*cj
+		if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
+			return u, v, iters, false
+		}
+		// one reciprocal instead of two dependent divisions (the division
+		// unit is the other serial bottleneck of this loop)
+		inv := 1 / det
+		u -= (d*f1 - b*f2) * inv
+		v -= (a*f2 - cj*f1) * inv
+	}
+	return u, v, maxIter, false
+}
+
+// BrussWindow advances one Brusselator cell over a whole time window:
+// steps sequential implicit-Euler steps, each solved like Newton2Bruss,
+// warm-started from the previous sweep's trajectory in old and retried once
+// from the previous time level when the warm start fails. left, right, old,
+// and out are interleaved (u, v) trajectories of length 2*(steps+1); the
+// caller presets out[0], out[1] with the initial condition. Results land in
+// out, work accumulates Newton iterations across all steps and retries, and
+// failStep is 0 on success or the 1-based time step whose retry also failed
+// (out is then valid only before that step).
+//
+// This exists because the per-step call boundary was the last overhead in
+// the sweep hot path: calling Newton2Bruss once per step re-derives the
+// loop-invariant coefficients and forces every live value through the
+// register-spilling call ABI 50+ times per cell. Fusing the step loop keeps
+// (u, v) and all coefficients in registers across the window. The inner
+// loop is textually Newton2Bruss's and must stay operation-for-operation
+// identical — TestBrussWindowMatchesStepwise pins the equivalence bitwise.
+// The cold retry path simply calls Newton2Bruss, which recomputes k1/k2
+// with the same operations and so stays on the same iterates.
+func BrussWindow(dt, c, tol float64, maxIter, steps int, left, right, old, out []float64) (work float64, failStep int) {
+	if maxIter <= 0 {
+		panic("solver: maxIter must be positive")
+	}
+	n := 2 * (steps + 1)
+	left, right, old, out = left[:n], right[:n], old[:n], out[:n]
+	dtc := dt * c
+	a1 := 1 + 4*dt + 2*dtc
+	b1 := 1 + 2*dtc
+	dt2 := 2 * dt
+	ndt3 := -(3 * dt)
+	uPrev, vPrev := out[0], out[1]
+	for i, t := 2, 1; i < n-1; i, t = i+2, t+1 {
+		uL, vL := left[i], left[i+1]
+		uR, vR := right[i], right[i+1]
+		k1 := -dt - dtc*(uL+uR) - uPrev
+		k2 := -dtc*(vL+vR) - vPrev
+		u, v := old[i], old[i+1]
+		conv := false
+		iters := 1
+		for ; iters <= maxIter; iters++ {
+			uu := u * u
+			dtuuv := dt * uu * v
+			f1 := math.FMA(a1, u, k1) - dtuuv
+			f2 := math.FMA(ndt3, u, math.FMA(b1, v, k2)) + dtuuv
+			if math.Abs(f1) <= tol && math.Abs(f2) <= tol {
+				conv = true
+				break
+			}
+			nv := -v
+			dt2u := dt2 * u
+			a := math.FMA(dt2u, nv, a1)
+			b := -dt * uu
+			cj := math.FMA(dt2u, v, ndt3)
+			d := math.FMA(dt, uu, b1)
+			det := a*d - b*cj
+			if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
+				break
+			}
+			inv := 1 / det
+			u -= (d*f1 - b*f2) * inv
+			v -= (a*f2 - cj*f1) * inv
+		}
+		if iters > maxIter {
+			iters = maxIter // match Newton2Bruss's exhaustion count
+		}
+		work += float64(iters)
+		if !conv {
+			// Cold path: early in the outer iteration the waveform iterate
+			// can be a poor start; retry from the previous time level.
+			var ok bool
+			u, v, iters, ok = Newton2Bruss(dt, c, uPrev, vPrev, uL, vL, uR, vR,
+				uPrev, vPrev, tol, maxIter)
+			work += float64(iters)
+			if !ok {
+				return work, t
+			}
+		}
+		out[i], out[i+1] = u, v
+		uPrev, vPrev = u, v
+	}
+	return work, 0
+}
+
+// BrussWindowPair is BrussWindow over two independent cells at once, their
+// Newton iterations interleaved in lockstep. One cell's solve is a serial
+// dependency chain (residual → Jacobian → divide → update, step after
+// step) that leaves most execution ports idle; interleaving a second,
+// independent chain nearly doubles instruction-level parallelism without
+// touching either cell's arithmetic. Every floating-point operation of each
+// cell has exactly the operands it would have in a solo BrussWindow call,
+// so outputs and work counts are bit-identical to two sequential windows —
+// TestBrussWindowPairMatchesSolo pins this. Valid only when the two cells
+// are independent within the sweep (Jacobi neighbor reads), which the
+// caller guarantees.
+//
+// failA/failB report the first failing step per cell as in BrussWindow; on
+// any failure the function returns immediately and the remaining outputs
+// are unspecified (callers panic on failure).
+func BrussWindowPair(dt, c, tol float64, maxIter, steps int,
+	leftA, rightA, oldA, outA,
+	leftB, rightB, oldB, outB []float64) (workA, workB float64, failA, failB int) {
+	if maxIter <= 0 {
+		panic("solver: maxIter must be positive")
+	}
+	n := 2 * (steps + 1)
+	leftA, rightA, oldA, outA = leftA[:n], rightA[:n], oldA[:n], outA[:n]
+	leftB, rightB, oldB, outB = leftB[:n], rightB[:n], oldB[:n], outB[:n]
+	dtc := dt * c
+	a1 := 1 + 4*dt + 2*dtc
+	b1 := 1 + 2*dtc
+	dt2 := 2 * dt
+	ndt3 := -(3 * dt)
+	uPrevA, vPrevA := outA[0], outA[1]
+	uPrevB, vPrevB := outB[0], outB[1]
+	for i, t := 2, 1; i < n-1; i, t = i+2, t+1 {
+		uLA, vLA := leftA[i], leftA[i+1]
+		uRA, vRA := rightA[i], rightA[i+1]
+		uLB, vLB := leftB[i], leftB[i+1]
+		uRB, vRB := rightB[i], rightB[i+1]
+		kA1 := -dt - dtc*(uLA+uRA) - uPrevA
+		kA2 := -dtc*(vLA+vRA) - vPrevA
+		kB1 := -dt - dtc*(uLB+uRB) - uPrevB
+		kB2 := -dtc*(vLB+vRB) - vPrevB
+		uA, vA := oldA[i], oldA[i+1]
+		uB, vB := oldB[i], oldB[i+1]
+		convA, convB := false, false
+		actA, actB := true, true
+		itA, itB := 0, 0
+		for actA || actB {
+			if actA {
+				itA++
+				uu := uA * uA
+				dtuuv := dt * uu * vA
+				f1 := math.FMA(a1, uA, kA1) - dtuuv
+				f2 := math.FMA(ndt3, uA, math.FMA(b1, vA, kA2)) + dtuuv
+				if math.Abs(f1) <= tol && math.Abs(f2) <= tol {
+					convA, actA = true, false
+				} else {
+					nv := -vA
+					dt2u := dt2 * uA
+					a := math.FMA(dt2u, nv, a1)
+					b := -dt * uu
+					cj := math.FMA(dt2u, vA, ndt3)
+					d := math.FMA(dt, uu, b1)
+					det := a*d - b*cj
+					if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
+						actA = false
+					} else {
+						inv := 1 / det
+						uA -= (d*f1 - b*f2) * inv
+						vA -= (a*f2 - cj*f1) * inv
+						if itA == maxIter {
+							actA = false
+						}
+					}
+				}
+			}
+			if actB {
+				itB++
+				uu := uB * uB
+				dtuuv := dt * uu * vB
+				f1 := math.FMA(a1, uB, kB1) - dtuuv
+				f2 := math.FMA(ndt3, uB, math.FMA(b1, vB, kB2)) + dtuuv
+				if math.Abs(f1) <= tol && math.Abs(f2) <= tol {
+					convB, actB = true, false
+				} else {
+					nv := -vB
+					dt2u := dt2 * uB
+					a := math.FMA(dt2u, nv, a1)
+					b := -dt * uu
+					cj := math.FMA(dt2u, vB, ndt3)
+					d := math.FMA(dt, uu, b1)
+					det := a*d - b*cj
+					if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
+						actB = false
+					} else {
+						inv := 1 / det
+						uB -= (d*f1 - b*f2) * inv
+						vB -= (a*f2 - cj*f1) * inv
+						if itB == maxIter {
+							actB = false
+						}
+					}
+				}
+			}
+		}
+		workA += float64(itA)
+		workB += float64(itB)
+		if !convA {
+			var r int
+			var ok bool
+			uA, vA, r, ok = Newton2Bruss(dt, c, uPrevA, vPrevA, uLA, vLA, uRA, vRA,
+				uPrevA, vPrevA, tol, maxIter)
+			workA += float64(r)
+			if !ok {
+				return workA, workB, t, 0
+			}
+		}
+		if !convB {
+			var r int
+			var ok bool
+			uB, vB, r, ok = Newton2Bruss(dt, c, uPrevB, vPrevB, uLB, vLB, uRB, vRB,
+				uPrevB, vPrevB, tol, maxIter)
+			workB += float64(r)
+			if !ok {
+				return workA, workB, 0, t
+			}
+		}
+		outA[i], outA[i+1] = uA, vA
+		outB[i], outB[i+1] = uB, vB
+		uPrevA, vPrevA = uA, vA
+		uPrevB, vPrevB = uB, vB
+	}
+	return workA, workB, 0, 0
+}

@@ -1,0 +1,119 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBrussWindowMatchesStepwise pins the contract documented on
+// BrussWindow: fusing the time-step loop must not change a single bit —
+// the window kernel walks exactly the same iterates as one Newton2Bruss
+// call per step with the same warm starts and the same retry rule.
+func TestBrussWindowMatchesStepwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const steps = 40
+	const dt, tol = 0.02, 1e-10
+	const maxIter = 25
+	c := (1.0 / 50.0) * 33 * 33 // α(N+1)² for a 32-cell grid
+	n := 2 * (steps + 1)
+	traj := func(uBase, vBase float64) []float64 {
+		tr := make([]float64, n)
+		for i := 0; i < n; i += 2 {
+			tr[i] = uBase + (rng.Float64()-0.5)*0.4
+			tr[i+1] = vBase + (rng.Float64()-0.5)*0.4
+		}
+		return tr
+	}
+	for trial := 0; trial < 25; trial++ {
+		left := traj(1, 3)
+		right := traj(1, 3)
+		old := traj(1.5, 2.8)
+		outW := make([]float64, n)
+		outS := make([]float64, n)
+		outW[0], outW[1] = old[0], old[1]
+		outS[0], outS[1] = old[0], old[1]
+
+		workW, failW := BrussWindow(dt, c, tol, maxIter, steps, left, right, old, outW)
+
+		workS, failS := 0.0, 0
+		for i, step := 2, 1; i < n-1 && failS == 0; i, step = i+2, step+1 {
+			uPrev, vPrev := outS[i-2], outS[i-1]
+			u, v, iters, ok := Newton2Bruss(dt, c, uPrev, vPrev,
+				left[i], left[i+1], right[i], right[i+1], old[i], old[i+1], tol, maxIter)
+			workS += float64(iters)
+			if !ok {
+				u, v, iters, ok = Newton2Bruss(dt, c, uPrev, vPrev,
+					left[i], left[i+1], right[i], right[i+1], uPrev, vPrev, tol, maxIter)
+				workS += float64(iters)
+				if !ok {
+					failS = step
+				}
+			}
+			if failS == 0 {
+				outS[i], outS[i+1] = u, v
+			}
+		}
+
+		if failW != failS {
+			t.Fatalf("trial %d: window failStep %d, stepwise %d", trial, failW, failS)
+		}
+		if workW != workS {
+			t.Fatalf("trial %d: window work %g, stepwise %g", trial, workW, workS)
+		}
+		for i := range outW {
+			if outW[i] != outS[i] {
+				t.Fatalf("trial %d: out[%d] window %.17g != stepwise %.17g", trial, i, outW[i], outS[i])
+			}
+		}
+	}
+}
+
+// TestBrussWindowPairMatchesSolo pins the contract documented on
+// BrussWindowPair: interleaving two independent cells must reproduce two
+// sequential BrussWindow calls bit for bit, including work counts.
+func TestBrussWindowPairMatchesSolo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const steps = 40
+	const dt, tol = 0.02, 1e-10
+	const maxIter = 25
+	c := (1.0 / 50.0) * 33 * 33
+	n := 2 * (steps + 1)
+	traj := func(uBase, vBase float64) []float64 {
+		tr := make([]float64, n)
+		for i := 0; i < n; i += 2 {
+			tr[i] = uBase + (rng.Float64()-0.5)*0.4
+			tr[i+1] = vBase + (rng.Float64()-0.5)*0.4
+		}
+		return tr
+	}
+	for trial := 0; trial < 25; trial++ {
+		leftA, rightA, oldA := traj(1, 3), traj(1, 3), traj(1.5, 2.8)
+		leftB, rightB, oldB := traj(1, 3), traj(1, 3), traj(1.5, 2.8)
+		outA, outB := make([]float64, n), make([]float64, n)
+		soloA, soloB := make([]float64, n), make([]float64, n)
+		outA[0], outA[1] = oldA[0], oldA[1]
+		outB[0], outB[1] = oldB[0], oldB[1]
+		soloA[0], soloA[1] = oldA[0], oldA[1]
+		soloB[0], soloB[1] = oldB[0], oldB[1]
+
+		wA, wB, fA, fB := BrussWindowPair(dt, c, tol, maxIter, steps,
+			leftA, rightA, oldA, outA, leftB, rightB, oldB, outB)
+		wsA, fsA := BrussWindow(dt, c, tol, maxIter, steps, leftA, rightA, oldA, soloA)
+		wsB, fsB := BrussWindow(dt, c, tol, maxIter, steps, leftB, rightB, oldB, soloB)
+
+		if fA != fsA || fB != fsB {
+			t.Fatalf("trial %d: pair failSteps (%d, %d), solo (%d, %d)", trial, fA, fB, fsA, fsB)
+		}
+		if wA != wsA || wB != wsB {
+			t.Fatalf("trial %d: pair work (%g, %g), solo (%g, %g)", trial, wA, wB, wsA, wsB)
+		}
+		for i := range outA {
+			if outA[i] != soloA[i] {
+				t.Fatalf("trial %d: cell A out[%d] pair %.17g != solo %.17g", trial, i, outA[i], soloA[i])
+			}
+			if outB[i] != soloB[i] {
+				t.Fatalf("trial %d: cell B out[%d] pair %.17g != solo %.17g", trial, i, outB[i], soloB[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package vtime
+
+import (
+	"testing"
+
+	"aiac/internal/runenv"
+)
+
+// TestMessageDeliveryAllocFree pins the scheduler hot path: once the event
+// heap and the mailboxes have grown to their steady-state capacity, pushing
+// an event, delivering a message and popping it from the mailbox must not
+// allocate. The run below moves 2×deliveries messages (plus as many wake
+// events) through one scheduler; the per-run allocations are the fixed
+// world-construction cost (procs, goroutines, rngs, fifo map) and must not
+// scale with the message count.
+func TestMessageDeliveryAllocFree(t *testing.T) {
+	const deliveries = 2000
+	pingPong := func() {
+		cfg := runenv.Config{
+			Delay: func(_, _, _ int, _ float64) float64 { return 1e-5 },
+		}
+		New(cfg).Run([]runenv.Body{
+			func(env runenv.Env) {
+				for k := 0; k < deliveries; k++ {
+					env.Send(1, k, nil, 64)
+					if _, ok := env.RecvWait(); !ok {
+						return
+					}
+				}
+			},
+			func(env runenv.Env) {
+				for k := 0; k < deliveries; k++ {
+					if _, ok := env.RecvWait(); !ok {
+						return
+					}
+					env.Send(0, k, nil, 64)
+				}
+			},
+		})
+	}
+	allocs := testing.AllocsPerRun(10, pingPong)
+	// Fixed setup cost only; heap/mailbox growth is O(log) doublings. With
+	// the old container/heap + mailbox[1:] implementation this exceeded
+	// 2×deliveries.
+	const budget = 100
+	if allocs > budget {
+		t.Fatalf("ping-pong of %d deliveries allocated %.0f times per run, want <= %d (amortized zero per delivery)",
+			2*deliveries, allocs, budget)
+	}
+	t.Logf("%.0f allocations per run for %d deliveries (%.4f per delivery)",
+		allocs, 2*deliveries, allocs/(2*deliveries))
+}

@@ -11,7 +11,6 @@
 package vtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -34,31 +33,87 @@ type event struct {
 	msg  runenv.Msg
 }
 
+// eventHeap is a binary min-heap over (t, seq), hand-rolled on the concrete
+// event type. container/heap would box every pushed event into an `any`,
+// allocating once per scheduled event on the scheduler's hottest path; the
+// concrete version allocates only when the backing slice grows.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any         { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-func (h *eventHeap) pushEv(e event)   { heap.Push(h, e) }
-func (h *eventHeap) popEv() (e event) { return heap.Pop(h).(event) }
+
+func (h *eventHeap) pushEv(e event) {
+	hh := append(*h, e)
+	*h = hh
+	for i := len(hh) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !hh.less(i, parent) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) popEv() event {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = event{} // drop the payload reference for the GC
+	hh = hh[:n]
+	*h = hh
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && hh.less(r, c) {
+			c = r
+		}
+		if !hh.less(c, i) {
+			break
+		}
+		hh[i], hh[c] = hh[c], hh[i]
+		i = c
+	}
+	return top
+}
 
 type proc struct {
-	id       int
-	clock    float64
-	resume   chan struct{}
+	id     int
+	clock  float64
+	resume chan struct{}
+	// mailbox[mboxHead:] holds the undelivered messages. Popping advances
+	// the head instead of reslicing from the front, so the backing array's
+	// capacity is reused (resetting to empty when drained) rather than
+	// leaked one slot per message.
 	mailbox  []runenv.Msg
+	mboxHead int
 	waiting  bool // blocked in RecvWait
 	sleeping bool // has a pending evWake
 	finished bool
 	rng      *rand.Rand
 	sched    *Scheduler
+}
+
+func (p *proc) mboxEmpty() bool { return p.mboxHead >= len(p.mailbox) }
+
+func (p *proc) mboxPop() runenv.Msg {
+	m := p.mailbox[p.mboxHead]
+	p.mailbox[p.mboxHead] = runenv.Msg{} // drop the payload reference
+	p.mboxHead++
+	if p.mboxHead == len(p.mailbox) {
+		p.mailbox = p.mailbox[:0]
+		p.mboxHead = 0
+	}
+	return m
 }
 
 // Scheduler is a single-use deterministic world. Create one with New, then
@@ -305,26 +360,22 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 
 func (e *env) Recv() (runenv.Msg, bool) {
 	p := e.p
-	if len(p.mailbox) == 0 {
+	if p.mboxEmpty() {
 		return runenv.Msg{}, false
 	}
-	m := p.mailbox[0]
-	p.mailbox = p.mailbox[1:]
-	return m, true
+	return p.mboxPop(), true
 }
 
 func (e *env) RecvWait() (runenv.Msg, bool) {
 	p := e.p
-	for len(p.mailbox) == 0 {
+	for p.mboxEmpty() {
 		if p.sched.stopped {
 			return runenv.Msg{}, false
 		}
 		p.waiting = true
 		p.yield()
 	}
-	m := p.mailbox[0]
-	p.mailbox = p.mailbox[1:]
-	return m, true
+	return p.mboxPop(), true
 }
 
 func (e *env) Stopped() bool { return e.p.sched.stopped }
