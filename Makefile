@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json check
+.PHONY: build test vet race bench bench-json check test-faults
 
 build:
 	$(GO) build ./...
@@ -24,4 +24,12 @@ BENCH_OUT ?= BENCH_1.json
 bench-json:
 	$(GO) test -run NONE -bench . -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
-check: build vet test
+# The fault-injection acceptance grid (seed × rate × mode invariant harness,
+# handshake idempotency, golden-seed regression) at test scale; see
+# EXPERIMENTS.md "Fault model".
+test-faults:
+	$(GO) test ./internal/fault/ ./internal/vtime/ -run 'Fault|Ownership|Monotone'
+	$(GO) test ./internal/loadbalance/ -run 'FuzzLBHandshake'
+	$(GO) test ./internal/engine/ -run 'TestFault|TestZeroRatePlan|TestSyncModeStalls|TestGoldenSeed'
+
+check: build vet test race

@@ -42,6 +42,7 @@ package aiac
 import (
 	"aiac/internal/brusselator"
 	"aiac/internal/engine"
+	"aiac/internal/fault"
 	"aiac/internal/grid"
 	"aiac/internal/heat"
 	"aiac/internal/iterative"
@@ -134,6 +135,45 @@ const (
 // DefaultLBPolicy returns the paper's balancing configuration (enabled,
 // period 20, residual estimator).
 func DefaultLBPolicy() LBPolicy { return loadbalance.DefaultPolicy() }
+
+// FaultPlan is a seeded, fully deterministic fault-injection plan for the
+// simulated grid; assign one to Config.Faults. Every fault decision is a
+// pure hash of (seed, link/node, per-target counter), so a run is exactly
+// replayable from the plan alone.
+type FaultPlan = fault.Plan
+
+// FaultRates holds per-message fault probabilities for a FaultPlan.
+type FaultRates = fault.Rates
+
+// FaultStats counts the faults an injector actually fired during a run;
+// see Result.FaultStats.
+type FaultStats = fault.Stats
+
+// FaultBadTargetError is the typed error Solve returns when a FaultPlan
+// names a node or link outside the configured world.
+type FaultBadTargetError = fault.BadTargetError
+
+// OwnershipLog records component-ownership transitions for invariant
+// checking; assign one to Config.OwnershipLog and feed it to
+// CheckOwnership after the run.
+type OwnershipLog = fault.OwnershipLog
+
+// CheckOwnership replays an ownership log and verifies that every
+// component was owned by exactly one node at all times, including
+// mid-migration under message loss.
+func CheckOwnership(log *OwnershipLog, components int) error {
+	return fault.CheckOwnership(log, components)
+}
+
+// ParseFaultSpec parses a "drop=0.05,dup=0.02,scope=lb"-style flag value
+// into a FaultPlan plus the requested scope ("", "lb" or "boundary").
+func ParseFaultSpec(spec string) (FaultPlan, string, error) { return fault.ParseSpec(spec) }
+
+// FaultKindsLB scopes a FaultPlan to the load-balancing handshake traffic.
+func FaultKindsLB() []int { return engine.FaultKindsLB() }
+
+// FaultKindsBoundary scopes a FaultPlan to boundary halo-exchange traffic.
+func FaultKindsBoundary() []int { return engine.FaultKindsBoundary() }
 
 // BrusselatorParams returns the paper's Brusselator configuration (§4) for
 // a grid of n cells and implicit-Euler step dt: α = 1/50, T = 10.

@@ -6,6 +6,7 @@
 //	aiacrun -mode aiac -p 8 -problem brusselator -n 64 -lb
 //	aiacrun -mode sisc -p 4 -problem poisson -n 128 -tol 1e-10
 //	aiacrun -mode aiac -p 15 -cluster grid15 -lb -trace
+//	aiacrun -mode aiac -p 8 -lb -faults drop=0.05,dup=0.02,scope=lb -fault-seed 7
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 		lbEstimator = flag.String("lb-estimator", "residual", "load estimator: residual, itertime, count")
 		lbMinKeep   = flag.Int("lb-minkeep", 2, "famine guard: minimum components per node")
 		seed        = flag.Int64("seed", 1, "random seed (platform + runtime)")
+		faults      = flag.String("faults", "", "fault spec, e.g. drop=0.05,dup=0.02,reorder=0.01,spike=0.01,stall=0.001,scope=lb (scope: lb, boundary, or empty for the whole data plane)")
+		faultSeed   = flag.Int64("fault-seed", 1, "fault-injection seed (replays the exact same faults)")
 		ring        = flag.Bool("ring", false, "use decentralized ring convergence detection")
 		gs          = flag.Bool("gs", false, "use local Gauss-Seidel sweeps (default: local Jacobi)")
 		jsonOut     = flag.Bool("json", false, "print the result digest as JSON")
@@ -112,6 +115,24 @@ func main() {
 		cfg.LB = pol
 	}
 
+	if *faults != "" {
+		plan, scope, err := aiac.ParseFaultSpec(*faults)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		plan.Seed = *faultSeed
+		switch scope {
+		case "":
+		case "lb":
+			plan.Kinds = aiac.FaultKindsLB()
+		case "boundary":
+			plan.Kinds = aiac.FaultKindsBoundary()
+		default:
+			fatalf("unknown fault scope %q (want lb or boundary)", scope)
+		}
+		cfg.Faults = &plan
+	}
+
 	if *ring {
 		cfg.Detection = aiac.DetectRing
 	}
@@ -148,9 +169,14 @@ func main() {
 	fmt.Printf("  total work       %.3g units\n", res.TotalWork)
 	fmt.Printf("  boundary msgs    %d (suppressed %d)\n", res.BoundaryMsgs, res.SuppressedSnd)
 	if *lb {
-		fmt.Printf("  lb transfers     %d accepted, %d rejected, %d components moved\n",
-			res.LBTransfers, res.LBRejects, res.LBCompsMoved)
+		fmt.Printf("  lb transfers     %d accepted, %d rejected, %d components moved (%d retries)\n",
+			res.LBTransfers, res.LBRejects, res.LBCompsMoved, res.LBRetries)
 		fmt.Printf("  final counts     %v\n", res.FinalCount)
+	}
+	if *faults != "" {
+		s := res.FaultStats
+		fmt.Printf("  faults injected  %d dropped, %d duplicated, %d reordered, %d spiked, %d stalled, %d slowed (seed %d)\n",
+			s.Dropped, s.Duplicated, s.Reordered, s.Spiked, s.Stalled, s.Slowed, *faultSeed)
 	}
 	if log != nil {
 		fmt.Println()

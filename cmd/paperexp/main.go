@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment id: all, fig1-4, fig5, table1, x1...x6")
+		expName = flag.String("exp", "all", "experiment id: all, fig1-4, fig5, table1, x1...x9")
 		scaleN  = flag.String("scale", "full", "scale: quick, full")
 		outDir  = flag.String("o", "", "directory to write per-experiment text files")
 		workers = flag.Int("workers", 0, "concurrent engine runs (0 = GOMAXPROCS, 1 = serial); outputs are identical at any setting")
@@ -71,6 +71,8 @@ func main() {
 		reports = []experiments.Report{experiments.FullHorizon(scale)}
 	case "x8", "mapping":
 		reports = []experiments.Report{experiments.Mapping(scale)}
+	case "x9", "faults", "robustness":
+		reports = []experiments.Report{experiments.Robustness(scale)}
 	case "diag", "diagnostics":
 		reports = []experiments.Report{experiments.Diagnostics(scale)}
 	default:

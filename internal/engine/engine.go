@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"aiac/internal/detect"
+	"aiac/internal/fault"
 	"aiac/internal/grid"
 	"aiac/internal/iterative"
 	"aiac/internal/loadbalance"
@@ -140,6 +141,20 @@ type Config struct {
 	// that an explicit, experimentable knob.
 	Mapping []int
 
+	// Faults, when non-nil, injects deterministic, seed-replayable message
+	// and compute faults into the run (see internal/fault). When
+	// Faults.Kinds is nil the plan covers the engine's data-plane traffic
+	// (boundary exchanges and the LB handshake) but leaves
+	// convergence-detection control messages reliable; name detection
+	// kinds explicitly to fault those too. A zero-rate plan is an exact
+	// no-op: results are bit-identical to Faults == nil.
+	Faults *fault.Plan
+	// OwnershipLog, when non-nil, records every component-ownership
+	// transition (initial assignment, ship, adopt, ack, restore) for
+	// invariant checking with fault.CheckOwnership — each component owned
+	// by exactly one node at all times, including mid-migration.
+	OwnershipLog *fault.OwnershipLog
+
 	Seed  int64
 	Trace *trace.Log // optional event collection
 	// History, when non-nil, collects per-node per-iteration time series
@@ -224,6 +239,13 @@ func (c Config) Validate() error {
 	if err := c.LB.Validate(); err != nil {
 		return err
 	}
+	if c.Faults != nil {
+		// The world has P workers plus the detector/barrier process; a
+		// plan naming anything else fails with a *fault.BadTargetError.
+		if err := c.Faults.Validate(c.P + 1); err != nil {
+			return err
+		}
+	}
 	if c.LB.Enabled {
 		if c.Mode != AIAC && c.Mode != AIACGeneral {
 			return fmt.Errorf("engine: load balancing requires an AIAC mode, got %s", c.Mode)
@@ -266,6 +288,11 @@ type Result struct {
 	LBTransfers  int // accepted transfers
 	LBRejects    int
 	LBCompsMoved int
+	LBRetries    int // retransmitted transfer-data messages
+
+	// FaultStats counts the faults actually injected (all zero when
+	// Faults is nil or a zero-rate plan).
+	FaultStats fault.Stats
 
 	// Messaging statistics.
 	BoundaryMsgs  int
@@ -330,6 +357,9 @@ func Run(cfg Config) (*Result, error) {
 		FinalCount: make([]int, p),
 		State:      make([][]float64, cfg.Problem.Components()),
 	}
+	if sched.inj != nil {
+		res.FaultStats = sched.inj.Stats()
+	}
 	for r, o := range outcomes {
 		if o == nil {
 			return nil, fmt.Errorf("engine: node %d produced no outcome", r)
@@ -345,6 +375,7 @@ func Run(cfg Config) (*Result, error) {
 		res.LBTransfers += o.lbRecv
 		res.LBRejects += o.lbRejected
 		res.LBCompsMoved += o.compsMoved
+		res.LBRetries += o.lbRetries
 		res.BoundaryMsgs += o.msgsBoundary
 		res.SuppressedSnd += o.suppressed
 	}
@@ -379,6 +410,7 @@ func Run(cfg Config) (*Result, error) {
 type world struct {
 	cfg   Config
 	vtsch *vtime.Scheduler
+	inj   *fault.Injector
 }
 
 func newWorld(cfg Config) *world { return &world{cfg: cfg} }
@@ -407,6 +439,26 @@ func (w *world) run(bodies []runenv.Body) float64 {
 		Delay: func(from, to, bytes int, now float64) float64 {
 			return ser.Delay(mapRank(from), mapRank(to), bytes, now)
 		},
+	}
+	if w.cfg.Faults != nil && !w.cfg.Faults.Zero() {
+		// Already validated by Run; faults act on process ranks (pre-
+		// mapping), matching the OwnershipLog and the test harness.
+		inj := w.cfg.Faults.MustCompile(len(bodies))
+		w.inj = inj
+		hook := inj.MsgFault
+		if w.cfg.Faults.Kinds == nil {
+			// Default scope: data plane only. Convergence detection and
+			// the SISC barrier ride a reliable control channel unless the
+			// plan names their kinds explicitly.
+			hook = func(from, to, kind, bytes int, now, delay float64) runenv.MsgFault {
+				if kind >= detect.KindBase {
+					return runenv.MsgFault{}
+				}
+				return inj.MsgFault(from, to, kind, bytes, now, delay)
+			}
+		}
+		rcfg.FaultHook = hook
+		rcfg.ComputeTime = inj.WrapCompute(rcfg.ComputeTime)
 	}
 	if _, isVT := w.cfg.Runner.(vtime.Runner); isVT {
 		// instantiate directly so we can read Deadlocked/TimedOut

@@ -1,0 +1,365 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"aiac/internal/brusselator"
+	"aiac/internal/fault"
+	"aiac/internal/grid"
+	"aiac/internal/loadbalance"
+)
+
+// faultTol bounds the distance between a faulty run's solution and the
+// analytic reference. The fault-free runs in this suite sit below 1e-4
+// (the repo-wide convention); faults must not push the converged solution
+// meaningfully further.
+const faultTol = 2e-4
+
+// lbConfig returns the standard small AIAC+LB configuration used across
+// the fault grid. The heterogeneous cluster keeps the balancer busy, so
+// the handshake sees real traffic for the injector to corrupt.
+func lbConfig(prob *brusselator.Problem) Config {
+	cfg := baseConfig(prob, 4)
+	cfg.Cluster = grid.Heterogeneous(4, 0.25, 7)
+	cfg.LB = loadbalance.DefaultPolicy()
+	cfg.LB.Period = 5
+	cfg.LB.MinKeep = 2
+	cfg.LBWarmup = 5
+	return cfg
+}
+
+// TestFaultGridInvariants is the acceptance harness of the fault-injection
+// layer: across a grid of seeds × fault rates × modes it asserts that runs
+// still converge to the fault-free solution, that every component is owned
+// by exactly one node at all times (including mid-migration), and that
+// virtual time stays monotone per rank.
+//
+// Synchronous modes (SISC/SIAC) wait in lockstep for boundary data, so a
+// dropped boundary message stalls them forever by design; their rows use
+// only duplication/reordering/delay faults. Message loss rows are confined
+// to AIAC, which the paper argues (and this harness verifies) tolerates it.
+func TestFaultGridInvariants(t *testing.T) {
+	prob, params := smallBruss()
+	ref, _, err := brusselator.Reference(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type combo struct {
+		name    string
+		mode    Mode
+		lb      bool
+		plan    fault.Plan
+		wantCat string // fault category that must have fired: "drop" or "delay"
+	}
+	var combos []combo
+
+	// AIAC + LB with lossy LB handshake: 5 seeds × 3 drop rates = 15 rows.
+	// Duplication and reordering ride along so the ledger and the XferID
+	// matching are exercised in the same runs.
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, drop := range []float64{0.05, 0.15, 0.30} {
+			cat := "drop"
+			if drop < 0.15 {
+				// At 5% a short run can legitimately roll zero drops;
+				// the grid-wide aggregate below still requires them.
+				cat = ""
+			}
+			combos = append(combos, combo{
+				name: fmt.Sprintf("aiac-lb/drop=%.2f/seed=%d", drop, seed),
+				mode: AIAC, lb: true,
+				plan: fault.Plan{
+					Seed:  seed,
+					Msg:   fault.Rates{Drop: drop, Dup: 0.05, Reorder: 0.05},
+					Kinds: FaultKindsLB(),
+				},
+				wantCat: cat,
+			})
+		}
+	}
+	// AIAC + LB with the whole data plane lossy (boundary included).
+	for seed := int64(1); seed <= 2; seed++ {
+		combos = append(combos, combo{
+			name: fmt.Sprintf("aiac-lb/data-plane/seed=%d", seed),
+			mode: AIAC, lb: true,
+			plan: fault.Plan{
+				Seed: seed,
+				Msg:  fault.Rates{Drop: 0.05, Dup: 0.05, Reorder: 0.05, Spike: 0.02},
+			},
+			wantCat: "drop",
+		})
+	}
+	// AIAC without LB under boundary loss.
+	for seed := int64(1); seed <= 2; seed++ {
+		combos = append(combos, combo{
+			name: fmt.Sprintf("aiac/boundary-drop/seed=%d", seed),
+			mode: AIAC, lb: false,
+			plan: fault.Plan{
+				Seed:  seed,
+				Msg:   fault.Rates{Drop: 0.10},
+				Kinds: FaultKindsBoundary(),
+			},
+			wantCat: "drop",
+		})
+	}
+	// Synchronous modes: duplication, reordering and delay spikes only.
+	for seed := int64(1); seed <= 2; seed++ {
+		combos = append(combos, combo{
+			name: fmt.Sprintf("siac/dup-reorder/seed=%d", seed),
+			mode: SIAC, lb: false,
+			plan: fault.Plan{
+				Seed: seed,
+				Msg:  fault.Rates{Dup: 0.10, Reorder: 0.10, Spike: 0.05},
+			},
+			wantCat: "delay",
+		})
+	}
+	combos = append(combos, combo{
+		name: "sisc/dup-reorder/seed=1",
+		mode: SISC, lb: false,
+		plan: fault.Plan{
+			Seed: 1,
+			Msg:  fault.Rates{Dup: 0.10, Reorder: 0.10, Spike: 0.05},
+		},
+		wantCat: "delay",
+	})
+
+	if len(combos) < 20 {
+		t.Fatalf("grid has only %d combos, want >= 20", len(combos))
+	}
+
+	// Grid-wide non-vacuity: across all combos the injector must have
+	// actually dropped messages (checked after the parallel subtests).
+	var totalDropped atomic.Int64
+	t.Cleanup(func() {
+		if !t.Failed() && totalDropped.Load() == 0 {
+			t.Error("no messages dropped anywhere in the grid")
+		}
+	})
+
+	for _, tc := range combos {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var cfg Config
+			if tc.lb {
+				cfg = lbConfig(prob)
+			} else {
+				cfg = baseConfig(prob, 4)
+			}
+			cfg.Mode = tc.mode
+			plan := tc.plan
+			cfg.Faults = &plan
+			ownLog := &fault.OwnershipLog{}
+			cfg.OwnershipLog = ownLog
+
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("did not converge: residual %g, faults %+v", res.MaxResidual, res.FaultStats)
+			}
+			if d := maxDiffVsRef(t, res.State, ref); d > faultTol {
+				t.Fatalf("solution off by %g (tol %g), faults %+v", d, faultTol, res.FaultStats)
+			}
+
+			totalDropped.Add(int64(res.FaultStats.Dropped))
+			// The combo must actually have injected what it advertises —
+			// otherwise the row is vacuously green.
+			switch tc.wantCat {
+			case "drop":
+				if res.FaultStats.Dropped == 0 {
+					t.Fatalf("no messages dropped: %+v", res.FaultStats)
+				}
+			case "delay":
+				if res.FaultStats.Duplicated+res.FaultStats.Reordered+res.FaultStats.Spiked == 0 {
+					t.Fatalf("no delay faults injected: %+v", res.FaultStats)
+				}
+			}
+
+			// Component conservation at halt.
+			total := 0
+			for _, c := range res.FinalCount {
+				total += c
+			}
+			if total != prob.Components() {
+				t.Fatalf("components not conserved: %v sums to %d, want %d",
+					res.FinalCount, total, prob.Components())
+			}
+			if tc.lb {
+				for r, c := range res.FinalCount {
+					if c < cfg.LB.MinKeep {
+						t.Fatalf("famine guard violated on rank %d: counts %v", r, res.FinalCount)
+					}
+				}
+			}
+
+			// Ownership conservation over the whole run, and monotone
+			// per-rank virtual time.
+			if err := fault.CheckOwnership(ownLog, prob.Components()); err != nil {
+				t.Fatalf("ownership invariant: %v", err)
+			}
+			if err := fault.CheckMonotoneTime(ownLog); err != nil {
+				t.Fatalf("time invariant: %v", err)
+			}
+			t.Logf("time %.3fs retries %d faults %+v", res.Time, res.LBRetries, res.FaultStats)
+		})
+	}
+}
+
+// TestZeroRatePlanIsBitIdenticalNoOp pins the acceptance requirement that
+// running with a zero-rate fault plan reproduces the fault-free run exactly
+// — same solution bits, same virtual times, same message counts.
+func TestZeroRatePlanIsBitIdenticalNoOp(t *testing.T) {
+	prob, _ := smallBruss()
+	run := func(plan *fault.Plan) *Result {
+		cfg := lbConfig(prob)
+		cfg.Faults = plan
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(nil)
+	zero := run(&fault.Plan{Seed: 12345})
+	if !reflect.DeepEqual(base, zero) {
+		t.Fatalf("zero-rate plan changed the run:\nbase %+v\nzero %+v", base, zero)
+	}
+}
+
+// TestFaultReplayIsDeterministic pins the "replayable from the seed"
+// guarantee at the engine level: identical configs with identical fault
+// plans produce identical results, and a different fault seed perturbs
+// the run.
+func TestFaultReplayIsDeterministic(t *testing.T) {
+	prob, _ := smallBruss()
+	run := func(seed int64) *Result {
+		cfg := lbConfig(prob)
+		cfg.Faults = &fault.Plan{
+			Seed: seed,
+			Msg:  fault.Rates{Drop: 0.15, Dup: 0.05, Reorder: 0.05},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same fault seed diverged:\na %+v\nb %+v", a, b)
+	}
+	c := run(8)
+	if a.Time == c.Time && a.FaultStats == c.FaultStats {
+		t.Fatalf("different fault seeds produced identical runs: %+v", a.FaultStats)
+	}
+}
+
+// TestFaultConfigBadTarget pins the satellite requirement: a fault plan
+// naming a nonexistent node or link fails Run with a typed error.
+func TestFaultConfigBadTarget(t *testing.T) {
+	prob, _ := smallBruss()
+	cases := []struct {
+		name string
+		plan fault.Plan
+	}{
+		{name: "bad node", plan: fault.Plan{Msg: fault.Rates{Drop: 0.1}, Nodes: []int{99}}},
+		{name: "bad link", plan: fault.Plan{Msg: fault.Rates{Drop: 0.1}, Links: [][2]int{{0, 42}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig(prob, 4)
+			plan := tc.plan
+			cfg.Faults = &plan
+			_, err := Run(cfg)
+			var bad *fault.BadTargetError
+			if !errors.As(err, &bad) {
+				t.Fatalf("Run returned %v, want a *fault.BadTargetError", err)
+			}
+		})
+	}
+}
+
+// TestSyncModeStallsUnderBoundaryLoss documents the known limitation the
+// fault grid designs around: a synchronous mode waits in lockstep for each
+// neighbor iterate, so losing boundary messages stalls the run rather than
+// corrupting it. The run must end not-converged — never with a wrong
+// answer silently accepted.
+func TestSyncModeStallsUnderBoundaryLoss(t *testing.T) {
+	prob, _ := smallBruss()
+	cfg := baseConfig(prob, 4)
+	cfg.Mode = SISC
+	cfg.MaxTime = 50 // safety bound; the run cannot finish
+	cfg.Faults = &fault.Plan{
+		Seed:  3,
+		Msg:   fault.Rates{Drop: 0.3},
+		Kinds: FaultKindsBoundary(),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("SISC converged despite dropped lockstep boundary messages")
+	}
+	if res.FaultStats.Dropped == 0 {
+		t.Fatalf("no messages dropped: %+v", res.FaultStats)
+	}
+}
+
+// TestGoldenSeedFaultRatio is the Fig-5-style regression pin: on a
+// heterogeneous cluster with a lossy data plane, load balancing must keep
+// its advantage. The expected ratio was measured once from the golden seed
+// below; the virtual-time runtime is deterministic, so drift beyond the
+// tolerance means the protocol (not the platform) changed behavior.
+func TestGoldenSeedFaultRatio(t *testing.T) {
+	p := brusselator.DefaultParams(48, 0.05)
+	p.T = 1
+	prob := brusselator.New(p)
+	goldenPlan := func() *fault.Plan {
+		return &fault.Plan{
+			Seed: 20260805, // golden fault seed, documented in EXPERIMENTS.md
+			Msg:  fault.Rates{Drop: 0.10, Dup: 0.05, Reorder: 0.05},
+		}
+	}
+	mk := func(lb bool) *Result {
+		cfg := baseConfig(prob, 6)
+		cfg.Cluster = grid.Heterogeneous(6, 0.2, 11)
+		cfg.Tol = 1e-6
+		if lb {
+			cfg.LB = loadbalance.DefaultPolicy()
+			cfg.LB.Period = 10
+			cfg.LB.MinKeep = 2
+			cfg.LBWarmup = 10
+		}
+		cfg.Faults = goldenPlan()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("lb=%v did not converge (faults %+v)", lb, res.FaultStats)
+		}
+		return res
+	}
+	without := mk(false)
+	with := mk(true)
+	ratio := without.Time / with.Time
+	t.Logf("golden seed: without LB %.3fs, with LB %.3fs, ratio %.3f (retries %d, faults %+v)",
+		without.Time, with.Time, ratio, with.LBRetries, with.FaultStats)
+	if ratio <= 1 {
+		t.Fatalf("LB lost its advantage under faults: ratio %.3f", ratio)
+	}
+	// Pinned from the golden seed; the run is deterministic, so a wide
+	// tolerance only absorbs intentional protocol/model changes.
+	const pinned, tol = 1.470, 0.20
+	if ratio < pinned*(1-tol) || ratio > pinned*(1+tol) {
+		t.Fatalf("golden-seed ratio %.3f drifted outside %.3f±%.0f%%", ratio, pinned, tol*100)
+	}
+}

@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 
+	"aiac/internal/fault"
+	"aiac/internal/loadbalance"
 	"aiac/internal/runenv"
 	"aiac/internal/trace"
 )
@@ -88,13 +90,21 @@ func (n *node) tryLB(dir int) bool {
 		n.endC -= count
 	}
 
+	n.xferSeq++
+	id := uint64(n.rank+1)<<32 | n.xferSeq
 	n.lbPending[dir] = true
 	n.lbPendingPos[dir] = pos
 	n.lbPendingCount[dir] = count
 	n.lbPendingSent[dir] = n.env.Now()
 	n.lbKeep[dir] = keep
+	n.lbXferID[dir] = id
+	n.lbPendingIter[dir] = n.iter
+	n.lbRetryAfter[dir] = lbRetryBase * n.cfg.LB.Period
+	ownLo, ownHi := n.pendingOwnRange(dir)
+	n.ownLog(fault.OwnShip, ownLo, ownHi, id)
 
-	msg := lbDataMsg{Pos: pos, Count: count, Comps: comps, Load: n.loadEst}
+	msg := lbDataMsg{XferID: id, Pos: pos, Count: count, Comps: comps, Load: n.loadEst}
+	n.lbResendMsg[dir] = msg
 	arrival := n.env.Send(peer, kindLBData, msg, trajBytes(count+n.halo, n.trajLen))
 	n.outc.lbSent++
 	if n.traceOn() {
@@ -107,6 +117,49 @@ func (n *node) tryLB(dir int) bool {
 	n.okToTry = n.cfg.LB.Period
 	n.lbDone = true
 	return true
+}
+
+// Retransmission policy for unresolved transfers: the first retry fires
+// after lbRetryBase LB periods without an answer, then the wait doubles up
+// to lbRetryCap periods. On a fault-free network answers arrive within a
+// flight time, so retries fire only on genuinely slow links — where the
+// receiver ledger's at-most-once guarantee makes the duplicate harmless.
+const (
+	lbRetryBase = 2
+	lbRetryCap  = 16
+)
+
+// lbRetry retransmits unanswered transfers (Algorithm 5 hardened for lossy
+// links): a dropped data, ack or reject message would otherwise leave the
+// transfer pending forever, freezing both the shipped components and all
+// future balancing in that direction.
+func (n *node) lbRetry() {
+	for dir := 0; dir < 2; dir++ {
+		if !n.lbPending[dir] {
+			continue
+		}
+		if n.iter-n.lbPendingIter[dir] < n.lbRetryAfter[dir] {
+			continue
+		}
+		peer := n.rank - 1
+		if dir == dirRight {
+			peer = n.rank + 1
+		}
+		msg := n.lbResendMsg[dir]
+		msg.Load = n.loadEst // refresh the estimate; the trajectories stay the shipped snapshot
+		n.env.Send(peer, kindLBData, msg, trajBytes(msg.Count+n.halo, n.trajLen))
+		n.outc.lbRetries++
+		n.lbPendingIter[dir] = n.iter
+		if next := n.lbRetryAfter[dir] * 2; next <= lbRetryCap*n.cfg.LB.Period {
+			n.lbRetryAfter[dir] = next
+		}
+		if n.traceOn() {
+			n.env.Trace(trace.Event{
+				T0: n.env.Now(), T1: n.env.Now(), Node: n.rank, To: peer,
+				Kind: trace.Mark, Iter: n.iter, Note: fmt.Sprintf("lb-retry %d", msg.Count),
+			})
+		}
+	}
 }
 
 // dropOwnership removes [lo, hi) from the owned bookkeeping. Trajectory
@@ -127,7 +180,12 @@ func (n *node) pruneVal() {
 // recvLBData handles an incoming transfer (Algorithm 6 plus the ack/reject
 // handshake): positions must attach exactly to this node's current range,
 // and a node with its own unresolved transfer toward that neighbor rejects
-// (two crossing transfers would tear the ranges apart).
+// (two crossing transfers would tear the ranges apart). The receiver ledger
+// makes the handshake idempotent on an unreliable network: a transfer is
+// integrated at most once (a duplicate just re-acks, in case the first ack
+// was lost) and a rejection is final (a retransmitted copy can never be
+// integrated after its reject was sent, which would double-own the
+// components once the shipper restores them).
 func (n *node) recvLBData(m runenv.Msg) {
 	d := m.Payload.(lbDataMsg)
 	dir, ok := n.dirOf(m.From)
@@ -137,29 +195,36 @@ func (n *node) recvLBData(m runenv.Msg) {
 	n.nbLoad[dir] = d.Load
 	n.nbLoadValid[dir] = true
 
-	reject := n.lbPending[dir]
+	attachOK := !n.lbPending[dir]
 	if dir == dirLeft {
 		// from the left: deps first, owned last; must attach at startC
 		if d.Pos+n.halo+d.Count != n.startC {
-			reject = true
+			attachOK = false
 		}
 	} else {
 		// from the right: owned first, deps last; must attach at endC
 		if d.Pos != n.endC {
-			reject = true
+			attachOK = false
 		}
 	}
 	if len(d.Comps) != d.Count+n.halo || d.Count < 1 {
-		reject = true
+		attachOK = false
 	}
-	if reject {
-		n.env.Send(m.From, kindLBReject, lbCtrlMsg{Pos: d.Pos, Count: d.Count}, msgHeaderBytes)
-		n.outc.lbRejected++
-		if n.traceOn() {
-			n.env.Trace(trace.Event{
-				T0: n.env.Now(), T1: n.env.Now(), Node: n.rank, To: m.From,
-				Kind: trace.Mark, Iter: n.iter, Note: "lb-reject",
-			})
+	disp, fresh := n.lbLedger.Classify(d.XferID, attachOK)
+	switch disp {
+	case loadbalance.AckAgain:
+		n.env.Send(m.From, kindLBAck, lbCtrlMsg{XferID: d.XferID, Pos: d.Pos, Count: d.Count}, msgHeaderBytes)
+		return
+	case loadbalance.Reject:
+		n.env.Send(m.From, kindLBReject, lbCtrlMsg{XferID: d.XferID, Pos: d.Pos, Count: d.Count}, msgHeaderBytes)
+		if fresh {
+			n.outc.lbRejected++
+			if n.traceOn() {
+				n.env.Trace(trace.Event{
+					T0: n.env.Now(), T1: n.env.Now(), Node: n.rank, To: m.From,
+					Kind: trace.Mark, Iter: n.iter, Note: "lb-reject",
+				})
+			}
 		}
 		return
 	}
@@ -186,8 +251,13 @@ func (n *node) recvLBData(m runenv.Msg) {
 		}
 		n.endC = d.Pos + d.Count
 	}
+	if dir == dirLeft {
+		n.ownLog(fault.OwnAdopt, d.Pos+n.halo, d.Pos+n.halo+d.Count, d.XferID)
+	} else {
+		n.ownLog(fault.OwnAdopt, d.Pos, d.Pos+d.Count, d.XferID)
+	}
 	n.pruneVal()
-	n.env.Send(m.From, kindLBAck, lbCtrlMsg{Pos: d.Pos, Count: d.Count}, msgHeaderBytes)
+	n.env.Send(m.From, kindLBAck, lbCtrlMsg{XferID: d.XferID, Pos: d.Pos, Count: d.Count}, msgHeaderBytes)
 	n.lbDone = true
 	// Receiver cooldown (a refinement over the paper, see DESIGN.md): a
 	// node that just received components waits half a period before
@@ -207,18 +277,23 @@ func (n *node) recvLBData(m runenv.Msg) {
 }
 
 // recvLBAck finalizes one of our transfers: the receiver integrated it, so
-// the provisional copies can be dropped.
+// the provisional copies can be dropped. Answers are matched by transfer
+// id, so duplicated or reordered control messages for older transfers are
+// ignored.
 func (n *node) recvLBAck(m runenv.Msg) {
 	dir, ok := n.dirOf(m.From)
 	if !ok || !n.lbPending[dir] {
 		return
 	}
 	c := m.Payload.(lbCtrlMsg)
-	if c.Pos != n.lbPendingPos[dir] || c.Count != n.lbPendingCount[dir] {
+	if c.XferID != n.lbXferID[dir] {
 		return // stale answer to an older transfer
 	}
+	lo, hi := n.pendingOwnRange(dir)
+	n.ownLog(fault.OwnFinalize, lo, hi, c.XferID)
 	n.lbPending[dir] = false
 	n.lbKeep[dir] = nil
+	n.lbResendMsg[dir] = lbDataMsg{}
 	n.pruneVal()
 	n.lbFlightBackoff(dir)
 }
@@ -257,9 +332,11 @@ func (n *node) recvLBReject(m runenv.Msg) {
 		return
 	}
 	c := m.Payload.(lbCtrlMsg)
-	if c.Pos != n.lbPendingPos[dir] || c.Count != n.lbPendingCount[dir] {
-		return
+	if c.XferID != n.lbXferID[dir] {
+		return // stale answer to an older transfer
 	}
+	lo, hi := n.pendingOwnRange(dir)
+	n.ownLog(fault.OwnRestore, lo, hi, c.XferID)
 	n.restoreLB(dir)
 	n.lbDone = true
 }
@@ -287,4 +364,5 @@ func (n *node) restoreLB(dir int) {
 	}
 	n.lbPending[dir] = false
 	n.lbKeep[dir] = nil
+	n.lbResendMsg[dir] = lbDataMsg{}
 }

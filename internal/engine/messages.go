@@ -32,21 +32,39 @@ type boundaryMsg struct {
 // components plus Halo dependency components, all in ascending global
 // position starting at Pos. When sent rightward the dependencies come
 // first; when sent leftward the transferred components come first.
+//
+// XferID identifies the transfer across retransmissions: the sender reuses
+// the id when it retries an unanswered transfer, and the receiver's ledger
+// guarantees at-most-once integration and rejection finality per id.
 type lbDataMsg struct {
-	Pos   int
-	Count int
-	Comps [][]float64
-	Load  float64
+	XferID uint64
+	Pos    int
+	Count  int
+	Comps  [][]float64
+	Load   float64
 }
 
 // lbCtrlMsg is the payload of kindLBAck and kindLBReject, echoing the
-// transfer it answers.
+// transfer it answers. Senders match answers by XferID, so duplicated or
+// reordered control messages for older transfers are ignored.
 type lbCtrlMsg struct {
-	Pos   int
-	Count int
+	XferID uint64
+	Pos    int
+	Count  int
 }
 
 const msgHeaderBytes = 32
+
+// FaultKindsLB returns the message kinds of the load-balancing handshake,
+// for scoping a fault.Plan to LB traffic only.
+func FaultKindsLB() []int { return []int{kindLBData, kindLBAck, kindLBReject} }
+
+// FaultKindsBoundary returns the boundary halo-exchange message kind.
+func FaultKindsBoundary() []int { return []int{kindBoundary} }
+
+// FaultKindsData returns every data-plane engine kind (boundary exchange
+// plus the LB handshake) — the default scope of a fault plan.
+func FaultKindsData() []int { return []int{kindBoundary, kindLBData, kindLBAck, kindLBReject} }
 
 // trajBytes estimates the wire size of n trajectories of the given length.
 func trajBytes(n, trajLen int) int {

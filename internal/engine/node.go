@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aiac/internal/detect"
+	"aiac/internal/fault"
 	"aiac/internal/iterative"
 	"aiac/internal/loadbalance"
 	"aiac/internal/runenv"
@@ -28,6 +29,7 @@ type nodeOutcome struct {
 	residual    float64
 
 	lbSent, lbRecv, lbRejected, compsMoved int
+	lbRetries                              int
 	msgsBoundary, suppressed               int
 
 	// haltedOK is true when this node halted through successful
@@ -82,6 +84,22 @@ type node struct {
 	lbDone         bool
 	okToTry        int
 
+	// Unreliable-network hardening: each transfer carries a unique id; an
+	// unanswered transfer is retransmitted after lbRetryAfter iterations
+	// (doubling up to lbRetryCap periods), and the receiver-side ledger
+	// makes integration at-most-once and rejection final per id.
+	lbXferID      [2]uint64
+	lbPendingIter [2]int // iteration of the last (re)transmission
+	lbRetryAfter  [2]int // iterations until the next retransmission
+	lbResendMsg   [2]lbDataMsg
+	lbLedger      loadbalance.RecvLedger
+	xferSeq       uint64
+
+	// nbHaloIter[dir] is the iteration tag of the newest integrated halo
+	// from that direction; older (reordered or duplicated) boundary
+	// messages must not overwrite fresher halo data.
+	nbHaloIter [2]int
+
 	pendingGo *detect.GoMsg
 
 	client convDetector
@@ -100,17 +118,18 @@ type node struct {
 
 func newNode(env runenv.Env, cfg *Config, rank int) *node {
 	n := &node{
-		env:     env,
-		cfg:     cfg,
-		rank:    rank,
-		p:       cfg.P,
-		det:     cfg.P,
-		prob:    cfg.Problem,
-		halo:    cfg.Problem.Halo(),
-		m:       cfg.Problem.Components(),
-		trajLen: cfg.Problem.TrajLen(),
-		nbIter:  [2]int{-1, -1},
-		okToTry: cfg.LBWarmup,
+		env:        env,
+		cfg:        cfg,
+		rank:       rank,
+		p:          cfg.P,
+		det:        cfg.P,
+		prob:       cfg.Problem,
+		halo:       cfg.Problem.Halo(),
+		m:          cfg.Problem.Components(),
+		trajLen:    cfg.Problem.TrajLen(),
+		nbIter:     [2]int{-1, -1},
+		nbHaloIter: [2]int{-1, -1},
+		okToTry:    cfg.LBWarmup,
 	}
 	n.getFn = n.get
 	if !cfg.GaussSeidelLocal {
@@ -135,7 +154,25 @@ func newNode(env runenv.Env, cfg *Config, rank int) *node {
 			n.client = &detect.Client{DetectorID: n.det, Streak: cfg.ConvStreak}
 		}
 	}
+	n.ownLog(fault.OwnInit, n.startC, n.endC, 0)
 	return n
+}
+
+// ownLog records one ownership transition into the invariant log, if any.
+func (n *node) ownLog(a fault.OwnAction, lo, hi int, xfer uint64) {
+	if l := n.cfg.OwnershipLog; l != nil {
+		l.Add(fault.OwnEvent{T: n.env.Now(), Rank: n.rank, Action: a, Lo: lo, Hi: hi, Xfer: xfer})
+	}
+}
+
+// pendingOwnRange returns the global range of owned components shipped in
+// the direction's pending transfer (excluding the halo dependency copies).
+func (n *node) pendingOwnRange(dir int) (lo, hi int) {
+	pos, count := n.lbPendingPos[dir], n.lbPendingCount[dir]
+	if dir == dirRight {
+		return pos + n.halo, pos + n.halo + count
+	}
+	return pos, pos + count
 }
 
 // convDetector is the node-side face of a convergence-detection protocol;
@@ -168,6 +205,8 @@ func (n *node) run() *nodeOutcome {
 			for j := range n.lbKeep[dir] {
 				restored[j] = true
 			}
+			lo, hi := n.pendingOwnRange(dir)
+			n.ownLog(fault.OwnHaltRestore, lo, hi, n.lbXferID[dir])
 			n.restoreLB(dir)
 		}
 	}
@@ -196,6 +235,9 @@ func (n *node) runAsync() {
 		n.drain()
 		if n.halted || n.env.Stopped() {
 			return
+		}
+		if cfg.LB.Enabled {
+			n.lbRetry()
 		}
 		if cfg.LB.Enabled && n.iter >= cfg.LBWarmup {
 			if n.lbDone {
@@ -540,6 +582,10 @@ func (n *node) recvBoundary(m runenv.Msg) {
 	if b.Pos != expect || len(b.Comps) != n.halo {
 		return // the ranges are shifting under load balancing: drop
 	}
+	if b.Iter < n.nbHaloIter[dir] {
+		return // reordered or duplicated stale halo: fresher data already integrated
+	}
+	n.nbHaloIter[dir] = b.Iter
 	for i, tr := range b.Comps {
 		n.val.set(b.Pos+i, tr)
 	}

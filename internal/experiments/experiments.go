@@ -153,6 +153,7 @@ func All(scale Scale) []Report {
 		LBFamilies(),
 		FullHorizon(scale),
 		Mapping(scale),
+		Robustness(scale),
 	)
 	return reports
 }

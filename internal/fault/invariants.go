@@ -1,0 +1,291 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the invariant-checking half of the fault harness: the engine
+// records every component-ownership transition into an OwnershipLog, and
+// after the run CheckOwnership replays the log against the protocol's state
+// machine — each component owned by exactly one node at all times, in-flight
+// transfers resolved exactly once, nothing lost and nothing double-owned no
+// matter which messages the injector dropped, duplicated or reordered.
+
+// OwnAction is the kind of an ownership transition.
+type OwnAction int
+
+const (
+	// OwnInit assigns a component range to its initial owner at t = 0.
+	OwnInit OwnAction = iota
+	// OwnShip marks a range provisionally shipped to a neighbor: the
+	// sender no longer computes it, but re-adopts it if the transfer is
+	// rejected or unresolved at halt.
+	OwnShip
+	// OwnAdopt marks a shipped range integrated by the receiver.
+	OwnAdopt
+	// OwnFinalize marks a transfer acknowledged back to the shipper (its
+	// provisional copies are discarded).
+	OwnFinalize
+	// OwnRestore marks a rejected transfer re-adopted by the shipper.
+	OwnRestore
+	// OwnHaltRestore marks a transfer still unresolved at halt re-adopted
+	// provisionally by the shipper. If the receiver did integrate it (the
+	// ack was lost), both copies exist momentarily and the state gather
+	// resolves in the receiver's favor — the checker accepts exactly that
+	// case and no other overlap.
+	OwnHaltRestore
+)
+
+// String names the action.
+func (a OwnAction) String() string {
+	switch a {
+	case OwnInit:
+		return "init"
+	case OwnShip:
+		return "ship"
+	case OwnAdopt:
+		return "adopt"
+	case OwnFinalize:
+		return "finalize"
+	case OwnRestore:
+		return "restore"
+	case OwnHaltRestore:
+		return "halt-restore"
+	default:
+		return fmt.Sprintf("own-action(%d)", int(a))
+	}
+}
+
+// OwnEvent is one ownership transition. Lo/Hi bound the affected global
+// component range [Lo, Hi); Xfer identifies the transfer for every action
+// except OwnInit.
+type OwnEvent struct {
+	T      float64
+	Rank   int
+	Action OwnAction
+	Lo, Hi int
+	Xfer   uint64
+}
+
+// OwnershipLog records ownership transitions in causal (append) order.
+// Under the deterministic virtual-time runtime exactly one process executes
+// at a time, so append order is the global causal order; the mutex only
+// matters under the real-time runtime, where the log is best-effort.
+type OwnershipLog struct {
+	mu     sync.Mutex
+	events []OwnEvent
+}
+
+// Add appends one event.
+func (l *OwnershipLog) Add(ev OwnEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+// Events returns the recorded events in append order.
+func (l *OwnershipLog) Events() []OwnEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]OwnEvent, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *OwnershipLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// xferState tracks one transfer through the handshake.
+type xferState int
+
+const (
+	xShipped xferState = iota
+	xAdopted
+	xRestored
+	xFinalized
+	// xHaltRestored marks a transfer the shipper re-adopted provisionally
+	// at halt while the data message was still in flight. The receiver may
+	// still integrate that copy while draining its mailbox during the stop;
+	// the gather then prefers the receiver's copy over the shipper's
+	// provisional one.
+	xHaltRestored
+)
+
+type xferRec struct {
+	from   int
+	lo, hi int
+	state  xferState
+}
+
+// CheckOwnership replays the log and verifies ownership conservation for a
+// world of `components` components: every component is owned by exactly one
+// rank (or is part of exactly one in-flight transfer) at every step, every
+// transfer resolves at most once, and at the end of the log nothing is in
+// flight and nothing is lost. It returns the first violation found.
+func CheckOwnership(log *OwnershipLog, components int) error {
+	const unowned = -1
+	owner := make([]int, components)
+	inflight := make([]uint64, components) // 0 = not in flight
+	for j := range owner {
+		owner[j] = unowned
+	}
+	xfers := make(map[uint64]*xferRec)
+
+	at := func(i int, ev OwnEvent) string {
+		return fmt.Sprintf("event %d (t=%g rank=%d %s [%d,%d) xfer=%d)",
+			i, ev.T, ev.Rank, ev.Action, ev.Lo, ev.Hi, ev.Xfer)
+	}
+	for i, ev := range log.Events() {
+		if ev.Lo < 0 || ev.Hi > components || ev.Lo >= ev.Hi {
+			return fmt.Errorf("fault: bad component range at %s", at(i, ev))
+		}
+		switch ev.Action {
+		case OwnInit:
+			for j := ev.Lo; j < ev.Hi; j++ {
+				if owner[j] != unowned {
+					return fmt.Errorf("fault: component %d initialized twice (ranks %d and %d) at %s",
+						j, owner[j], ev.Rank, at(i, ev))
+				}
+				owner[j] = ev.Rank
+			}
+		case OwnShip:
+			if ev.Xfer == 0 {
+				return fmt.Errorf("fault: ship without transfer id at %s", at(i, ev))
+			}
+			if _, dup := xfers[ev.Xfer]; dup {
+				return fmt.Errorf("fault: transfer %d shipped twice at %s", ev.Xfer, at(i, ev))
+			}
+			for j := ev.Lo; j < ev.Hi; j++ {
+				if owner[j] != ev.Rank {
+					return fmt.Errorf("fault: rank %d shipped component %d it does not own (owner %d) at %s",
+						ev.Rank, j, owner[j], at(i, ev))
+				}
+				if inflight[j] != 0 {
+					return fmt.Errorf("fault: component %d shipped while already in flight (xfer %d) at %s",
+						j, inflight[j], at(i, ev))
+				}
+				owner[j] = unowned
+				inflight[j] = ev.Xfer
+			}
+			xfers[ev.Xfer] = &xferRec{from: ev.Rank, lo: ev.Lo, hi: ev.Hi, state: xShipped}
+		case OwnAdopt:
+			x := xfers[ev.Xfer]
+			if x == nil {
+				return fmt.Errorf("fault: adopt of unknown transfer at %s", at(i, ev))
+			}
+			// xShipped is the normal case. xHaltRestored is the halt drain
+			// race: the shipper already re-adopted provisionally, but the
+			// data message was in flight and the receiver integrates it
+			// while unwinding — the gather prefers this copy, so ownership
+			// moves to the receiver and the shipper's copy is discarded.
+			if x.state != xShipped && x.state != xHaltRestored {
+				return fmt.Errorf("fault: transfer %d adopted in state %d (double integration?) at %s",
+					ev.Xfer, x.state, at(i, ev))
+			}
+			if ev.Lo != x.lo || ev.Hi != x.hi {
+				return fmt.Errorf("fault: adopt range mismatch (shipped [%d,%d)) at %s", x.lo, x.hi, at(i, ev))
+			}
+			for j := ev.Lo; j < ev.Hi; j++ {
+				inflight[j] = 0
+				owner[j] = ev.Rank
+			}
+			x.state = xAdopted
+		case OwnFinalize:
+			x := xfers[ev.Xfer]
+			if x == nil {
+				return fmt.Errorf("fault: finalize of unknown transfer at %s", at(i, ev))
+			}
+			if x.state != xAdopted {
+				return fmt.Errorf("fault: transfer %d finalized in state %d (ack without integration?) at %s",
+					ev.Xfer, x.state, at(i, ev))
+			}
+			x.state = xFinalized
+		case OwnRestore:
+			x := xfers[ev.Xfer]
+			if x == nil {
+				return fmt.Errorf("fault: restore of unknown transfer at %s", at(i, ev))
+			}
+			if x.state != xShipped {
+				return fmt.Errorf("fault: transfer %d restored in state %d (reject after integration?) at %s",
+					ev.Xfer, x.state, at(i, ev))
+			}
+			if ev.Rank != x.from {
+				return fmt.Errorf("fault: transfer %d restored by rank %d, shipped by %d at %s",
+					ev.Xfer, ev.Rank, x.from, at(i, ev))
+			}
+			for j := x.lo; j < x.hi; j++ {
+				inflight[j] = 0
+				owner[j] = ev.Rank
+			}
+			x.state = xRestored
+		case OwnHaltRestore:
+			x := xfers[ev.Xfer]
+			if x == nil {
+				return fmt.Errorf("fault: halt-restore of unknown transfer at %s", at(i, ev))
+			}
+			switch x.state {
+			case xShipped:
+				// genuinely unresolved: the shipper's copy becomes the
+				// authoritative one
+				if ev.Rank != x.from {
+					return fmt.Errorf("fault: transfer %d halt-restored by rank %d, shipped by %d at %s",
+						ev.Xfer, ev.Rank, x.from, at(i, ev))
+				}
+				for j := x.lo; j < x.hi; j++ {
+					inflight[j] = 0
+					owner[j] = ev.Rank
+				}
+				x.state = xHaltRestored
+			case xAdopted:
+				// the receiver integrated but the ack was lost: the
+				// shipper's restored copies are provisional duplicates the
+				// gather discards — the receiver stays the owner
+			default:
+				return fmt.Errorf("fault: transfer %d halt-restored in state %d at %s", ev.Xfer, x.state, at(i, ev))
+			}
+		default:
+			return fmt.Errorf("fault: unknown action at %s", at(i, ev))
+		}
+	}
+	for j := 0; j < components; j++ {
+		if inflight[j] != 0 {
+			return fmt.Errorf("fault: component %d still in flight (xfer %d) at end of log", j, inflight[j])
+		}
+		if owner[j] == unowned {
+			return fmt.Errorf("fault: component %d unowned at end of log", j)
+		}
+	}
+	return nil
+}
+
+// CheckMonotoneTime verifies that virtual time never runs backwards for any
+// rank (per-rank event times are non-decreasing in causal order) and that
+// every transfer's lifecycle times are causally ordered.
+func CheckMonotoneTime(log *OwnershipLog) error {
+	last := map[int]float64{}
+	shipT := map[uint64]float64{}
+	for i, ev := range log.Events() {
+		if ev.T < 0 || ev.T != ev.T {
+			return fmt.Errorf("fault: event %d has invalid time %g", i, ev.T)
+		}
+		if prev, ok := last[ev.Rank]; ok && ev.T < prev {
+			return fmt.Errorf("fault: rank %d time ran backwards at event %d: %g after %g", ev.Rank, i, ev.T, prev)
+		}
+		last[ev.Rank] = ev.T
+		switch ev.Action {
+		case OwnShip:
+			shipT[ev.Xfer] = ev.T
+		case OwnAdopt, OwnFinalize:
+			if t0, ok := shipT[ev.Xfer]; ok && ev.T < t0 {
+				return fmt.Errorf("fault: transfer %d %s at t=%g before its ship at t=%g (event %d)",
+					ev.Xfer, ev.Action, ev.T, t0, i)
+			}
+		}
+	}
+	return nil
+}

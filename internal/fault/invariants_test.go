@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// logOf builds an OwnershipLog from a literal event sequence.
+func logOf(events ...OwnEvent) *OwnershipLog {
+	l := &OwnershipLog{}
+	for _, e := range events {
+		l.Add(e)
+	}
+	return l
+}
+
+// initEvents seeds ownership: rank 0 owns [0,4), rank 1 owns [4,8).
+func initEvents() []OwnEvent {
+	return []OwnEvent{
+		{T: 0, Rank: 0, Action: OwnInit, Lo: 0, Hi: 4},
+		{T: 0, Rank: 1, Action: OwnInit, Lo: 4, Hi: 8},
+	}
+}
+
+func TestCheckOwnershipValidLifecycles(t *testing.T) {
+	cases := []struct {
+		name  string
+		extra []OwnEvent
+	}{
+		{name: "no transfers"},
+		{
+			// Rank 0 ships [2,4) to rank 1, which adopts; ack finalizes.
+			name: "ship adopt finalize",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 1, Action: OwnAdopt, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 3, Rank: 0, Action: OwnFinalize, Lo: 2, Hi: 4, Xfer: 1},
+			},
+		},
+		{
+			// Receiver rejected the transfer; the sender restores.
+			name: "ship restore",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 0, Action: OwnRestore, Lo: 2, Hi: 4, Xfer: 1},
+			},
+		},
+		{
+			// Run halts while a transfer is unanswered: sender restores it.
+			name: "halt restore of in-flight transfer",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 0, Action: OwnHaltRestore, Lo: 2, Hi: 4, Xfer: 1},
+			},
+		},
+		{
+			// Run halts after the receiver adopted but before the ack
+			// arrived: the sender's halt-restore is a provisional duplicate
+			// that gather resolves in favor of the receiver. Allowed.
+			name: "halt restore of adopted transfer",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 1, Action: OwnAdopt, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 3, Rank: 0, Action: OwnHaltRestore, Lo: 2, Hi: 4, Xfer: 1},
+			},
+		},
+		{
+			// Halt drain race: the shipper halt-restores while the data
+			// message is still in flight, then the receiver integrates it
+			// while unwinding. The gather prefers the receiver's copy.
+			name: "adopt after halt restore",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 0, Action: OwnHaltRestore, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 3, Rank: 1, Action: OwnAdopt, Lo: 2, Hi: 4, Xfer: 1},
+			},
+		},
+		{
+			// Back-and-forth: [2,4) moves right, then [2,6) moves back left.
+			name: "sequential transfers",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 1, Action: OwnAdopt, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 3, Rank: 0, Action: OwnFinalize, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 4, Rank: 1, Action: OwnShip, Lo: 2, Hi: 6, Xfer: 2},
+				{T: 5, Rank: 0, Action: OwnAdopt, Lo: 2, Hi: 6, Xfer: 2},
+				{T: 6, Rank: 1, Action: OwnFinalize, Lo: 2, Hi: 6, Xfer: 2},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			log := logOf(append(initEvents(), tc.extra...)...)
+			if err := CheckOwnership(log, 8); err != nil {
+				t.Fatalf("CheckOwnership: %v", err)
+			}
+			if err := CheckMonotoneTime(log); err != nil {
+				t.Fatalf("CheckMonotoneTime: %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckOwnershipCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		extra   []OwnEvent
+		wantSub string
+	}{
+		{
+			name: "ship of unowned components",
+			extra: []OwnEvent{
+				{T: 1, Rank: 1, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+			},
+			wantSub: "does not own",
+		},
+		{
+			name: "double adopt",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 1, Action: OwnAdopt, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 3, Rank: 1, Action: OwnAdopt, Lo: 2, Hi: 4, Xfer: 1},
+			},
+			wantSub: "adopt",
+		},
+		{
+			name: "restore after adopt doubles ownership",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 1, Action: OwnAdopt, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 3, Rank: 0, Action: OwnRestore, Lo: 2, Hi: 4, Xfer: 1},
+			},
+			wantSub: "restore",
+		},
+		{
+			name: "lost in flight at halt",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+			},
+			wantSub: "in flight",
+		},
+		{
+			name: "adopt of a different range",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 1, Action: OwnAdopt, Lo: 1, Hi: 4, Xfer: 1},
+			},
+			wantSub: "range",
+		},
+		{
+			name: "finalize without adopt",
+			extra: []OwnEvent{
+				{T: 1, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+				{T: 2, Rank: 0, Action: OwnFinalize, Lo: 2, Hi: 4, Xfer: 1},
+			},
+			wantSub: "finalize",
+		},
+		{
+			name: "duplicate init",
+			extra: []OwnEvent{
+				{T: 1, Rank: 1, Action: OwnInit, Lo: 0, Hi: 2},
+			},
+			wantSub: "init",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			log := logOf(append(initEvents(), tc.extra...)...)
+			err := CheckOwnership(log, 8)
+			if err == nil {
+				t.Fatal("CheckOwnership accepted an invalid log")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestCheckMonotoneTimeCatchesRegression(t *testing.T) {
+	log := logOf(
+		OwnEvent{T: 0, Rank: 0, Action: OwnInit, Lo: 0, Hi: 4},
+		OwnEvent{T: 0, Rank: 1, Action: OwnInit, Lo: 4, Hi: 8},
+		OwnEvent{T: 5, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+		OwnEvent{T: 4, Rank: 0, Action: OwnFinalize, Lo: 2, Hi: 4, Xfer: 1},
+	)
+	if err := CheckMonotoneTime(log); err == nil {
+		t.Fatal("CheckMonotoneTime accepted a clock going backwards")
+	}
+	// Adopt before ship is a causality violation even when each rank's
+	// local clock is monotone.
+	log = logOf(
+		OwnEvent{T: 0, Rank: 0, Action: OwnInit, Lo: 0, Hi: 4},
+		OwnEvent{T: 0, Rank: 1, Action: OwnInit, Lo: 4, Hi: 8},
+		OwnEvent{T: 3, Rank: 0, Action: OwnShip, Lo: 2, Hi: 4, Xfer: 1},
+		OwnEvent{T: 1, Rank: 1, Action: OwnAdopt, Lo: 2, Hi: 4, Xfer: 1},
+	)
+	if err := CheckMonotoneTime(log); err == nil {
+		t.Fatal("CheckMonotoneTime accepted adopt before ship")
+	}
+}
+
+func TestOwnActionString(t *testing.T) {
+	for _, a := range []OwnAction{OwnInit, OwnShip, OwnAdopt, OwnFinalize, OwnRestore, OwnHaltRestore} {
+		if a.String() == "" || strings.HasPrefix(a.String(), "OwnAction(") {
+			t.Fatalf("missing String for action %d", a)
+		}
+	}
+}

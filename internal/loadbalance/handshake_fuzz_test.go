@@ -1,0 +1,212 @@
+package loadbalance
+
+import "testing"
+
+// FuzzLBHandshake drives a two-node model of the transfer handshake through
+// arbitrary interleavings of ship / deliver / drop / duplicate / retry and
+// asserts component conservation at every step: a component is owned by
+// exactly one side (or is part of exactly one in-flight transfer), no
+// transfer is integrated twice, and after the network drains both sides
+// agree on the boundary with nothing lost and nothing double-owned.
+//
+// The model reuses the production RecvLedger verbatim, so the fuzzer
+// explores exactly the idempotency rules the engine relies on.
+func FuzzLBHandshake(f *testing.F) {
+	f.Add([]byte{0, 2, 2})                   // ship left→right, deliver data, deliver ack
+	f.Add([]byte{0, 1, 2, 2, 2, 2})          // crossing transfers, both rejected
+	f.Add([]byte{0, 3, 5, 2, 2})             // data dropped, retried, delivered
+	f.Add([]byte{0, 4, 2, 2, 2, 2})          // data duplicated: integrate then ack-again
+	f.Add([]byte{0, 2, 3, 5, 2, 2})          // ack dropped, retry answered from ledger
+	f.Add([]byte{1, 4, 2, 2, 0, 2, 2, 2, 2}) // duplicated right→left plus a follow-up
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const (
+			M     = 12 // components
+			left  = 0
+			right = 1
+			none  = -1
+		)
+		type msg struct {
+			typ    int // 0 data, 1 ack, 2 reject
+			id     uint64
+			lo, hi int
+			to     int
+		}
+		type pend struct {
+			id     uint64
+			lo, hi int
+			active bool
+		}
+		var (
+			bL, bR   = M / 2, M / 2 // left owns [0,bL), right owns [bR,M)
+			owner    [M]int
+			inflight [M]uint64
+			pends    [2]pend
+			ledgers  [2]RecvLedger
+			msgs     []msg
+			nextID   uint64
+		)
+		for j := 0; j < M; j++ {
+			if j >= bL {
+				owner[j] = right
+			}
+		}
+
+		ship := func(side int, k int) {
+			if pends[side].active {
+				return
+			}
+			var lo, hi int
+			if side == left {
+				if bL-k < 1 {
+					return
+				}
+				lo, hi = bL-k, bL
+			} else {
+				if bR+k > M-1 {
+					return
+				}
+				lo, hi = bR, bR+k
+			}
+			nextID++
+			id := nextID
+			for j := lo; j < hi; j++ {
+				if owner[j] != side || inflight[j] != 0 {
+					t.Fatalf("ship of component %d not owned by %d (owner %d, inflight %d)",
+						j, side, owner[j], inflight[j])
+				}
+				owner[j] = none
+				inflight[j] = id
+			}
+			if side == left {
+				bL = lo
+			} else {
+				bR = hi
+			}
+			pends[side] = pend{id: id, lo: lo, hi: hi, active: true}
+			msgs = append(msgs, msg{typ: 0, id: id, lo: lo, hi: hi, to: 1 - side})
+		}
+		retry := func(side int) {
+			if p := pends[side]; p.active {
+				msgs = append(msgs, msg{typ: 0, id: p.id, lo: p.lo, hi: p.hi, to: 1 - side})
+			}
+		}
+		deliver := func(m msg) {
+			side := m.to
+			switch m.typ {
+			case 0: // data
+				var attachOK bool
+				if side == right {
+					attachOK = !pends[right].active && m.hi == bR
+				} else {
+					attachOK = !pends[left].active && m.lo == bL
+				}
+				disp, _ := ledgers[side].Classify(m.id, attachOK)
+				switch disp {
+				case Integrate:
+					for j := m.lo; j < m.hi; j++ {
+						if inflight[j] != m.id || owner[j] != none {
+							t.Fatalf("integrated component %d not in flight under xfer %d (owner %d, inflight %d)",
+								j, m.id, owner[j], inflight[j])
+						}
+						owner[j] = side
+						inflight[j] = 0
+					}
+					if side == right {
+						bR = m.lo
+					} else {
+						bL = m.hi
+					}
+					msgs = append(msgs, msg{typ: 1, id: m.id, to: 1 - side})
+				case AckAgain:
+					msgs = append(msgs, msg{typ: 1, id: m.id, to: 1 - side})
+				case Reject:
+					msgs = append(msgs, msg{typ: 2, id: m.id, to: 1 - side})
+				}
+			case 1: // ack: the shipper forgets the transfer
+				if p := pends[side]; p.active && p.id == m.id {
+					pends[side].active = false
+				}
+			case 2: // reject: the shipper restores ownership
+				p := pends[side]
+				if !p.active || p.id != m.id {
+					return
+				}
+				for j := p.lo; j < p.hi; j++ {
+					if inflight[j] != p.id || owner[j] != none {
+						t.Fatalf("restore of component %d not in flight under xfer %d (owner %d, inflight %d)",
+							j, p.id, owner[j], inflight[j])
+					}
+					owner[j] = side
+					inflight[j] = 0
+				}
+				if side == left {
+					bL = p.hi
+				} else {
+					bR = p.lo
+				}
+				pends[side].active = false
+			}
+		}
+
+		for _, b := range ops {
+			switch b % 6 {
+			case 0:
+				ship(left, 1+int(b>>6)%2)
+			case 1:
+				ship(right, 1+int(b>>6)%2)
+			case 2:
+				if len(msgs) > 0 {
+					i := int(b>>3) % len(msgs)
+					m := msgs[i]
+					msgs = append(msgs[:i], msgs[i+1:]...)
+					deliver(m)
+				}
+			case 3:
+				if len(msgs) > 0 {
+					i := int(b>>3) % len(msgs)
+					msgs = append(msgs[:i], msgs[i+1:]...)
+				}
+			case 4:
+				if len(msgs) > 0 {
+					msgs = append(msgs, msgs[int(b>>3)%len(msgs)])
+				}
+			case 5:
+				retry(int(b>>3) % 2)
+			}
+		}
+
+		// Drain: no more loss; retransmit until both sides quiesce. The
+		// handshake must terminate — every retry is answered by an ack or
+		// a (final) reject. Each backlogged data message produces at most
+		// one response, so the round bound scales with the backlog.
+		maxRounds := 4*len(msgs) + 16*M
+		for round := 0; pends[left].active || pends[right].active || len(msgs) > 0; round++ {
+			if round > maxRounds {
+				t.Fatalf("handshake livelock: pends %+v, %d messages in flight", pends, len(msgs))
+			}
+			if len(msgs) == 0 {
+				retry(left)
+				retry(right)
+			}
+			m := msgs[0]
+			msgs = msgs[1:]
+			deliver(m)
+		}
+
+		if bL != bR {
+			t.Fatalf("boundary torn after drain: left owns [0,%d), right owns [%d,%d)", bL, bR, M)
+		}
+		for j := 0; j < M; j++ {
+			if inflight[j] != 0 {
+				t.Fatalf("component %d still in flight (xfer %d) after drain", j, inflight[j])
+			}
+			want := left
+			if j >= bL {
+				want = right
+			}
+			if owner[j] != want {
+				t.Fatalf("component %d owned by %d, want %d (boundary %d)", j, owner[j], want, bL)
+			}
+		}
+	})
+}

@@ -183,7 +183,44 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 		panic(fmt.Sprintf("rtime: send to invalid process %d", to))
 	}
 	now := w.now()
-	arrival := now + w.cfg.Delay(e.p.id, to, bytes, now)
+	delay := w.cfg.Delay(e.p.id, to, bytes, now)
+	var f runenv.MsgFault
+	if w.cfg.FaultHook != nil {
+		f = w.cfg.FaultHook(e.p.id, to, kind, bytes, now, delay)
+	}
+	arrival := now + delay + f.ExtraDelay
+
+	// Duplicate copies are delivered by free-running goroutines outside the
+	// per-pair FIFO serialization — reordering is the point of the fault.
+	for _, dd := range f.DupDelays {
+		dm := runenv.Msg{
+			From: e.p.id, To: to, Kind: kind, Payload: payload, Bytes: bytes,
+			SendT: now,
+		}
+		w.mu.Lock()
+		w.seq++
+		dm.Seq = w.seq
+		w.delWG.Add(1)
+		w.mu.Unlock()
+		w.deliverLoose(dm, w.toWall(delay+dd))
+	}
+	if f.Drop {
+		// Lost on the wire: the sender still observes a plausible arrival.
+		return arrival
+	}
+	if f.Reorder {
+		m := runenv.Msg{
+			From: e.p.id, To: to, Kind: kind, Payload: payload, Bytes: bytes,
+			SendT: now,
+		}
+		w.mu.Lock()
+		w.seq++
+		m.Seq = w.seq
+		w.delWG.Add(1)
+		w.mu.Unlock()
+		w.deliverLoose(m, w.toWall(arrival-now))
+		return arrival
+	}
 
 	key := [2]int{e.p.id, to}
 	w.mu.Lock()
@@ -233,6 +270,21 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 		ps.mu.Unlock()
 	}()
 	return arrival
+}
+
+// deliverLoose delivers m after the given wall delay without per-pair FIFO
+// serialization (used for duplicated and reordered fault copies).
+func (w *world) deliverLoose(m runenv.Msg, wait time.Duration) {
+	dst := w.procs[m.To]
+	go func() {
+		defer w.delWG.Done()
+		preciseWait(wait)
+		m.RecvT = w.now()
+		dst.mu.Lock()
+		dst.mailbox = append(dst.mailbox, m)
+		dst.cond.Broadcast()
+		dst.mu.Unlock()
+	}()
 }
 
 func (e *env) Recv() (runenv.Msg, bool) {

@@ -79,12 +79,36 @@ type Config struct {
 	// may keep per-link state (e.g. serialization queues), in which case
 	// they must be safe for concurrent use under the real-time runtime.
 	Delay func(from, to, bytes int, now float64) float64
+	// FaultHook, when non-nil, is consulted once per Send (after Delay) to
+	// decide the fate of the message: lost, duplicated, reordered, or
+	// delivered late. The zero MsgFault means "deliver normally". The hook
+	// must be deterministic given its arguments and any internal counters
+	// it keeps, and — like Delay — safe for concurrent use under the
+	// real-time runtime. See internal/fault for the standard implementation.
+	FaultHook func(from, to, kind, bytes int, now, delay float64) MsgFault
 	// Seed seeds the per-process RNGs (process i uses Seed + i).
 	Seed int64
 	// Trace, when non-nil, collects events emitted via Env.Trace.
 	Trace *trace.Log
 	// MaxTime, when > 0, stops the world when the clock passes it.
 	MaxTime float64
+}
+
+// MsgFault is the injected fate of one message send; the zero value means
+// "deliver normally". Produced by Config.FaultHook, honored by the runtimes.
+type MsgFault struct {
+	// Drop loses the message. Send still returns the would-be arrival time
+	// (a sender cannot observe the loss), but nothing is ever delivered.
+	Drop bool
+	// ExtraDelay is added to the modeled link delay of the delivered copy.
+	ExtraDelay float64
+	// Reorder exempts the delivered copy from the per-pair FIFO guarantee,
+	// so a delayed copy can arrive after messages sent later on the link.
+	Reorder bool
+	// DupDelays delivers one extra copy of the message per entry, each
+	// with the given delay added to the modeled link delay. Duplicate
+	// copies bypass the per-pair FIFO order.
+	DupDelays []float64
 }
 
 // Normalize fills in defaults for missing hooks: unit-speed nodes and

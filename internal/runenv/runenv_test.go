@@ -2,25 +2,74 @@ package runenv
 
 import "testing"
 
-func TestNormalizeDefaults(t *testing.T) {
-	cfg := Config{}.Normalize()
-	if cfg.ComputeTime == nil || cfg.Delay == nil {
-		t.Fatal("Normalize must install default hooks")
+// TestNormalize drives Config.Normalize through a table: nil hooks get the
+// documented defaults, provided hooks (including the fault hook) survive
+// untouched, and Normalize never installs a fault hook on its own — no hook
+// means a perfectly reliable network.
+func TestNormalize(t *testing.T) {
+	identityCompute := func(_ int, _, u float64) float64 { return u * 2 }
+	constDelay := func(_, _, _ int, _ float64) float64 { return 0.25 }
+	dropAll := func(_, _, _, _ int, _, _ float64) MsgFault { return MsgFault{Drop: true} }
+
+	cases := []struct {
+		name        string
+		cfg         Config
+		wantCompute float64 // ComputeTime(3, 0, 7.5)
+		wantDelay   float64 // Delay(0, 1, 100, 5)
+		wantFault   *bool   // nil: hook must be nil; else expected Drop of the hook's verdict
+	}{
+		{
+			name:        "empty config gets identity compute and zero delay",
+			cfg:         Config{},
+			wantCompute: 7.5,
+			wantDelay:   0,
+		},
+		{
+			name:        "provided hooks are kept",
+			cfg:         Config{ComputeTime: identityCompute, Delay: constDelay},
+			wantCompute: 15,
+			wantDelay:   0.25,
+		},
+		{
+			name:        "fault hook is kept",
+			cfg:         Config{FaultHook: dropAll},
+			wantCompute: 7.5,
+			wantDelay:   0,
+			wantFault:   boolPtr(true),
+		},
+		{
+			name:        "no fault hook is installed by default",
+			cfg:         Config{ComputeTime: identityCompute},
+			wantCompute: 15,
+			wantDelay:   0,
+		},
 	}
-	if got := cfg.ComputeTime(3, 0, 7.5); got != 7.5 {
-		t.Fatalf("default ComputeTime = %g, want identity", got)
-	}
-	if got := cfg.Delay(0, 1, 1<<20, 5); got != 0 {
-		t.Fatalf("default Delay = %g, want 0", got)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg.Normalize()
+			if cfg.ComputeTime == nil || cfg.Delay == nil {
+				t.Fatal("Normalize must install default compute/delay hooks")
+			}
+			if got := cfg.ComputeTime(3, 0, 7.5); got != tc.wantCompute {
+				t.Fatalf("ComputeTime = %g, want %g", got, tc.wantCompute)
+			}
+			if got := cfg.Delay(0, 1, 100, 5); got != tc.wantDelay {
+				t.Fatalf("Delay = %g, want %g", got, tc.wantDelay)
+			}
+			if tc.wantFault == nil {
+				if cfg.FaultHook != nil {
+					t.Fatal("Normalize installed a fault hook on its own")
+				}
+				return
+			}
+			if cfg.FaultHook == nil {
+				t.Fatal("Normalize lost the provided fault hook")
+			}
+			if got := cfg.FaultHook(0, 1, 1, 8, 0, 0.1); got.Drop != *tc.wantFault {
+				t.Fatalf("FaultHook verdict %+v, want Drop=%v", got, *tc.wantFault)
+			}
+		})
 	}
 }
 
-func TestNormalizeKeepsHooks(t *testing.T) {
-	called := false
-	cfg := Config{
-		ComputeTime: func(_ int, _, u float64) float64 { called = true; return u * 2 },
-	}.Normalize()
-	if cfg.ComputeTime(0, 0, 1) != 2 || !called {
-		t.Fatal("Normalize must not replace provided hooks")
-	}
-}
+func boolPtr(b bool) *bool { return &b }

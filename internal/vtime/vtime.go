@@ -344,17 +344,38 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 	if to < 0 || to >= len(s.procs) {
 		panic(fmt.Sprintf("vtime: send to invalid process %d", to))
 	}
-	arrival := e.p.clock + s.cfg.Delay(e.p.id, to, bytes, e.p.clock)
-	key := [2]int{e.p.id, to}
-	if last, ok := s.fifo[key]; ok && arrival < last {
-		arrival = last
+	delay := s.cfg.Delay(e.p.id, to, bytes, e.p.clock)
+	var f runenv.MsgFault
+	if s.cfg.FaultHook != nil {
+		f = s.cfg.FaultHook(e.p.id, to, kind, bytes, e.p.clock, delay)
 	}
-	s.fifo[key] = arrival
+	arrival := e.p.clock + delay + f.ExtraDelay
+	key := [2]int{e.p.id, to}
+	if !f.Reorder {
+		if last, ok := s.fifo[key]; ok && arrival < last {
+			arrival = last
+		}
+		// A dropped message never arrives, so it must not constrain the
+		// arrival times of later (delivered) messages on the link.
+		if !f.Drop {
+			s.fifo[key] = arrival
+		}
+	}
 	m := runenv.Msg{
 		From: e.p.id, To: to, Kind: kind, Payload: payload, Bytes: bytes,
 		SendT: e.p.clock, Seq: s.nextSeq(),
 	}
-	s.events.pushEv(event{t: arrival, seq: m.Seq, kind: evDeliver, proc: to, msg: m})
+	if !f.Drop {
+		s.events.pushEv(event{t: arrival, seq: m.Seq, kind: evDeliver, proc: to, msg: m})
+	}
+	// Duplicate copies ride outside the FIFO clamp: an independently
+	// delayed copy arriving out of order is exactly the reordering fault
+	// the engine must tolerate.
+	for _, dd := range f.DupDelays {
+		dm := m
+		dm.Seq = s.nextSeq()
+		s.events.pushEv(event{t: e.p.clock + delay + dd, seq: dm.Seq, kind: evDeliver, proc: to, msg: dm})
+	}
 	return arrival
 }
 
