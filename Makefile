@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json check test-faults
+.PHONY: build test vet race bench bench-json check test-faults fmt-check report
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,23 @@ BENCH_OUT ?= BENCH_1.json
 bench-json:
 	$(GO) test -run NONE -bench . -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
+# Everything must stay gofmt-clean; prints the offending files on failure.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Telemetry demo: run the Figure-5-style LB pair with -metrics, render the
+# balanced run's dashboard, then diff the pair (see README "Observability").
+REPORT_DIR ?= /tmp/aiac-report
+report:
+	mkdir -p $(REPORT_DIR)
+	$(GO) run ./cmd/aiacrun -mode aiac -p 4 -n 32 -cluster heterogeneous \
+		-metrics $(REPORT_DIR)/lb-off.jsonl
+	$(GO) run ./cmd/aiacrun -mode aiac -p 4 -n 32 -cluster heterogeneous \
+		-lb -metrics $(REPORT_DIR)/lb-on.jsonl
+	$(GO) run ./cmd/aiacreport $(REPORT_DIR)/lb-on.jsonl
+	$(GO) run ./cmd/aiacreport -diff $(REPORT_DIR)/lb-off.jsonl $(REPORT_DIR)/lb-on.jsonl
+
 # The fault-injection acceptance grid (seed × rate × mode invariant harness,
 # handshake idempotency, golden-seed regression) at test scale; see
 # EXPERIMENTS.md "Fault model".
@@ -32,4 +49,4 @@ test-faults:
 	$(GO) test ./internal/loadbalance/ -run 'FuzzLBHandshake'
 	$(GO) test ./internal/engine/ -run 'TestFault|TestZeroRatePlan|TestSyncModeStalls|TestGoldenSeed'
 
-check: build vet test race
+check: build fmt-check vet test race

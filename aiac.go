@@ -48,6 +48,7 @@ import (
 	"aiac/internal/iterative"
 	"aiac/internal/linsys"
 	"aiac/internal/loadbalance"
+	"aiac/internal/metrics"
 	"aiac/internal/nldiffusion"
 	"aiac/internal/poisson"
 	"aiac/internal/poisson2d"
@@ -305,3 +306,19 @@ type LinSysParams = linsys.Params
 // rejecting systems without strict diagonal dominance unless
 // AllowNonDominant is set.
 func NewLinSys(p LinSysParams) (*linsys.Problem, error) { return linsys.New(p) }
+
+// MetricsSink collects one run's telemetry when attached to Config.Metrics:
+// periodic per-node samples, convergence-timeline events, messaging
+// aggregates and the run manifest. Export it with WriteJSONL and render the
+// file with cmd/aiacreport.
+type MetricsSink = metrics.Sink
+
+// Manifest is a telemetry run's self-description: configuration echo, host
+// environment and sealed outcome.
+type Manifest = metrics.Manifest
+
+// MetricsRun is a parsed telemetry export.
+type MetricsRun = metrics.Run
+
+// ReadMetricsRun parses a telemetry JSONL file.
+func ReadMetricsRun(path string) (*MetricsRun, error) { return metrics.ReadRunFile(path) }

@@ -141,6 +141,30 @@ func BenchmarkAIACSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkAIACSolveMetrics is BenchmarkAIACSolve with the telemetry sink
+// attached (every-iteration sampling): the price of full observability,
+// compared against the zero-cost disabled path above.
+func BenchmarkAIACSolveMetrics(b *testing.B) {
+	params := aiac.BrusselatorParams(32, 0.05)
+	params.T = 1
+	prob := aiac.NewBrusselator(params)
+	for i := 0; i < b.N; i++ {
+		res, err := aiac.Solve(aiac.Config{
+			Mode: aiac.AIAC, P: 4, Problem: prob,
+			Cluster: aiac.Homogeneous(4),
+			Tol:     1e-7, MaxIter: 100000,
+			LB: aiac.DefaultLBPolicy(), Seed: int64(i),
+			Metrics: &aiac.MetricsSink{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
 // BenchmarkBandedFactorSolve measures the banded LU used by the sequential
 // reference integrator (dimension 256, bandwidths 2). The matrix template
 // is built once outside the timer; each iteration restores it with CopyFrom

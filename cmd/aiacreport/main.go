@@ -1,0 +1,56 @@
+// Command aiacreport renders a telemetry export (a JSONL file written by
+// aiacrun -metrics or the experiment harness) as an ASCII dashboard:
+// residual-decay timeline, load distribution over time, message and fault
+// statistics, a per-node summary table and the convergence timeline.
+//
+// Examples:
+//
+//	aiacrun -mode aiac -p 8 -lb -metrics run.jsonl && aiacreport run.jsonl
+//	aiacreport -diff lb-off.jsonl lb-on.jsonl
+//	aiacreport -width 100 run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aiac/internal/metrics"
+	"aiac/internal/report"
+)
+
+func main() {
+	var (
+		diff   = flag.String("diff", "", "compare the given run (A) against the positional run (B)")
+		width  = flag.Int("width", 64, "plot width in characters")
+		height = flag.Int("height", 16, "plot height in rows")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aiacreport [-diff a.jsonl] [-width n] [-height n] run.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run, err := metrics.ReadRunFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opt := report.Options{Width: *width, Height: *height}
+	if *diff != "" {
+		other, err := metrics.ReadRunFile(*diff)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(report.RenderDiff(other, run, opt))
+		return
+	}
+	fmt.Print(report.Render(run, opt))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aiacreport: "+format+"\n", args...)
+	os.Exit(1)
+}

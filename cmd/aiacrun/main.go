@@ -41,7 +41,10 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "print the result digest as JSON")
 		real        = flag.Bool("real", false, "run on the real goroutine runtime instead of virtual time")
 		speedup     = flag.Float64("speedup", 50, "real runtime: model seconds per wall second")
-		showTrace   = flag.Bool("trace", false, "render an execution Gantt chart (first 12 iterations)")
+		showTrace   = flag.Bool("trace", false, "render an execution Gantt chart (see -trace-iters)")
+		traceIters  = flag.Int("trace-iters", 12, "iterations covered by -trace (0 = all)")
+		metricsOut  = flag.String("metrics", "", "write run telemetry (manifest + per-node series) to this JSONL file; render it with aiacreport")
+		metricsPer  = flag.Float64("metrics-period", 0, "minimum virtual seconds between telemetry samples of a node (0 = every iteration)")
 	)
 	flag.Parse()
 
@@ -146,12 +149,39 @@ func main() {
 	if *showTrace {
 		log = &aiac.TraceLog{}
 		cfg.Trace = log
-		cfg.TraceIters = 12
+		cfg.TraceIters = *traceIters
+	}
+
+	var sink *aiac.MetricsSink
+	if *metricsOut != "" {
+		sink = &aiac.MetricsSink{Period: *metricsPer}
+		sink.Manifest.Name = "aiacrun"
+		sink.Manifest.Problem = fmt.Sprintf("%s-%d", strings.ToLower(*problemName), *n)
+		sink.Manifest.Cluster = strings.ToLower(*clusterName)
+		if *faults != "" {
+			sink.Manifest.FaultSpec = *faults
+		}
+		sink.Manifest.FillHost()
+		cfg.Metrics = sink
 	}
 
 	res, err := aiac.Solve(cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if sink != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := sink.WriteJSONL(f); err != nil {
+			fatalf("writing %s: %v", *metricsOut, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", *metricsOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "aiacrun: telemetry written to %s\n", *metricsOut)
 	}
 
 	if *jsonOut {

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"aiac/internal/experiments"
+	"aiac/internal/metrics"
 )
 
 func main() {
@@ -73,6 +75,8 @@ func main() {
 		reports = []experiments.Report{experiments.Mapping(scale)}
 	case "x9", "faults", "robustness":
 		reports = []experiments.Report{experiments.Robustness(scale)}
+	case "x10", "telemetry":
+		reports = []experiments.Report{experiments.LoadTelemetry(scale)}
 	case "diag", "diagnostics":
 		reports = []experiments.Report{experiments.Diagnostics(scale)}
 	default:
@@ -94,9 +98,52 @@ func main() {
 			if err := os.WriteFile(path, []byte(r.String()), 0o644); err != nil {
 				fatalf("%v", err)
 			}
+			if err := writeManifest(filepath.Join(*outDir, r.ID+".manifest.json"), r, *scaleN); err != nil {
+				fatalf("%v", err)
+			}
 		}
 	}
 	fmt.Printf("shape checks: %d/%d OK\n", ok, total)
+}
+
+// expManifest is the sidecar written next to each <id>.txt under -o: what
+// ran, what it concluded, and on which host/revision — enough to tell two
+// result directories apart months later.
+type expManifest struct {
+	ID         string `json:"id"`
+	Title      string `json:"title"`
+	Scale      string `json:"scale"`
+	Pass       bool   `json:"pass"`
+	PaperClaim string `json:"paper_claim"`
+	Measured   string `json:"measured"`
+	CreatedAt  string `json:"created_at"`
+	GitRev     string `json:"git_rev,omitempty"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+func writeManifest(path string, r experiments.Report, scale string) error {
+	var host metrics.Manifest
+	host.FillHost()
+	m := expManifest{
+		ID:         r.ID,
+		Title:      r.Title,
+		Scale:      strings.ToLower(scale),
+		Pass:       r.Pass,
+		PaperClaim: r.PaperClaim,
+		Measured:   r.Measured,
+		CreatedAt:  host.CreatedAt,
+		GitRev:     host.GitRev,
+		GoVersion:  host.GoVersion,
+		OS:         host.OS,
+		Arch:       host.Arch,
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatalf(format string, args ...any) {

@@ -101,6 +101,14 @@ type Config struct {
 	// SingleVerify disables the second verification round of the
 	// asynchronous protocol (kept as an ablation knob).
 	SingleVerify bool
+
+	// OnRound, when non-nil, is called when the asynchronous detector opens
+	// a verification round (the barrier coordinator releases far too many
+	// barriers to report each one). OnHalt, when non-nil, is called when
+	// either protocol broadcasts the final HALT. Both are telemetry hooks;
+	// they run on the detector process.
+	OnRound func(t float64, round int)
+	OnHalt  func(t float64, aborted bool)
 }
 
 // Outcome reports how a detector run ended.
@@ -148,6 +156,9 @@ func runAsync(env runenv.Env, cfg Config) Outcome {
 		verifying = true
 		confirms = 0
 		allOK = true
+		if cfg.OnRound != nil {
+			cfg.OnRound(env.Now(), round)
+		}
 		broadcast(KindVerify, RoundMsg{Round: round})
 	}
 	for {
@@ -189,10 +200,16 @@ func runAsync(env runenv.Env, cfg Config) Outcome {
 				openRound()
 				break
 			}
+			if cfg.OnHalt != nil {
+				cfg.OnHalt(env.Now(), false)
+			}
 			broadcast(KindHalt, HaltMsg{})
 			out.Halted = true
 			return out
 		case KindAbort:
+			if cfg.OnHalt != nil {
+				cfg.OnHalt(env.Now(), true)
+			}
 			broadcast(KindHalt, HaltMsg{Aborted: true})
 			out.Halted = true
 			out.Aborted = true
@@ -238,6 +255,9 @@ func runBarrier(env runenv.Env, cfg Config) Outcome {
 			env.Send(i, KindBarrierGo, go_, ctrlBytes)
 		}
 		if halt || abort {
+			if cfg.OnHalt != nil {
+				cfg.OnHalt(env.Now(), abort)
+			}
 			out.Halted = true
 			out.Aborted = abort
 			return out

@@ -20,12 +20,15 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"time"
 
 	"aiac/internal/detect"
 	"aiac/internal/fault"
 	"aiac/internal/grid"
 	"aiac/internal/iterative"
 	"aiac/internal/loadbalance"
+	"aiac/internal/metrics"
 	"aiac/internal/runenv"
 	"aiac/internal/trace"
 	"aiac/internal/vtime"
@@ -160,6 +163,11 @@ type Config struct {
 	// History, when non-nil, collects per-node per-iteration time series
 	// (residual decay, component migration, cumulative work).
 	History *History
+	// Metrics, when non-nil, collects the run's telemetry: periodic
+	// per-node samples, convergence-timeline events, messaging aggregates
+	// and the run manifest (see internal/metrics). A nil sink costs the
+	// hot path one pointer check per hook and no allocations.
+	Metrics *metrics.Sink
 	// TraceIters caps per-iteration trace events (0 = unlimited).
 	TraceIters int
 
@@ -310,6 +318,12 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.History != nil {
 		cfg.History.init(p)
 	}
+	var wallStart time.Time
+	if s := cfg.Metrics; s != nil {
+		wallStart = time.Now()
+		s.Start(p)
+		fillManifest(&s.Manifest, &cfg)
+	}
 	outcomes := make([]*nodeOutcome, p)
 	bodies := make([]runenv.Body, p+1)
 	for i := 0; i < p; i++ {
@@ -328,11 +342,24 @@ func Run(cfg Config) (*Result, error) {
 		if !useCentral {
 			return
 		}
-		detOut = detect.Run(env, detect.Config{
+		dcfg := detect.Config{
 			P:            p,
 			Barrier:      cfg.Mode == SISC,
 			SingleVerify: cfg.SingleVerify,
-		})
+		}
+		if s := cfg.Metrics; s != nil {
+			dcfg.OnRound = func(t float64, round int) {
+				s.Event(t, -1, "verify-round", strconv.Itoa(round))
+			}
+			dcfg.OnHalt = func(t float64, aborted bool) {
+				detail := ""
+				if aborted {
+					detail = "aborted"
+				}
+				s.Event(t, -1, "halt", detail)
+			}
+		}
+		detOut = detect.Run(env, dcfg)
 	}
 
 	sched := newWorld(cfg)
@@ -402,7 +429,63 @@ func Run(cfg Config) (*Result, error) {
 			return res, fmt.Errorf("engine: component %d missing from the gathered state", j)
 		}
 	}
+	if s := cfg.Metrics; s != nil {
+		s.FinishRun(metrics.Outcome{
+			Converged:     res.Converged,
+			TimedOut:      res.TimedOut,
+			Time:          res.Time,
+			WallSeconds:   time.Since(wallStart).Seconds(),
+			TotalIters:    res.TotalIters,
+			TotalWork:     res.TotalWork,
+			MaxResidual:   res.MaxResidual,
+			LBTransfers:   res.LBTransfers,
+			LBRejects:     res.LBRejects,
+			LBCompsMoved:  res.LBCompsMoved,
+			LBRetries:     res.LBRetries,
+			BoundaryMsgs:  res.BoundaryMsgs,
+			SuppressedSnd: res.SuppressedSnd,
+			Faults:        res.FaultStats,
+		})
+	}
 	return res, nil
+}
+
+// fillManifest echoes the solver configuration into the telemetry manifest.
+// Fields the caller pre-set (run name, problem/cluster labels, host info)
+// are kept; the engine owns the generic echo.
+func fillManifest(m *metrics.Manifest, cfg *Config) {
+	if m.Mode == "" {
+		m.Mode = cfg.Mode.String()
+	}
+	m.P = cfg.P
+	m.Components = cfg.Problem.Components()
+	m.Halo = cfg.Problem.Halo()
+	m.Tol = cfg.Tol
+	m.MaxIter = cfg.MaxIter
+	m.MaxTime = cfg.MaxTime
+	if m.Detection == "" {
+		if cfg.Mode == SISC {
+			m.Detection = "barrier"
+		} else {
+			m.Detection = cfg.Detection.String()
+		}
+	}
+	m.GaussSeidel = cfg.GaussSeidelLocal
+	m.Seed = cfg.Seed
+	m.MetricsPeriod = cfg.Metrics.Period
+	if cfg.LB.Enabled && m.LB == nil {
+		m.LB = &metrics.LBManifest{
+			Period:    cfg.LB.Period,
+			MinKeep:   cfg.LB.MinKeep,
+			Threshold: cfg.LB.ThresholdRatio,
+			Lambda:    cfg.LB.Lambda,
+			Estimator: cfg.LB.Estimator.String(),
+			Smoothing: cfg.LB.Smoothing,
+		}
+	}
+	if cfg.Faults != nil && m.FaultSeed == 0 {
+		m.FaultSeed = cfg.Faults.Seed
+	}
 }
 
 // world wraps the runner so Run can ask about timeouts on the
@@ -440,6 +523,9 @@ func (w *world) run(bodies []runenv.Body) float64 {
 			return ser.Delay(mapRank(from), mapRank(to), bytes, now)
 		},
 	}
+	if s := w.cfg.Metrics; s != nil {
+		rcfg.Observer = s
+	}
 	if w.cfg.Faults != nil && !w.cfg.Faults.Zero() {
 		// Already validated by Run; faults act on process ranks (pre-
 		// mapping), matching the OwnershipLog and the test harness.
@@ -455,6 +541,19 @@ func (w *world) run(bodies []runenv.Body) float64 {
 					return runenv.MsgFault{}
 				}
 				return inj.MsgFault(from, to, kind, bytes, now, delay)
+			}
+		}
+		if s := w.cfg.Metrics; s != nil {
+			// Per-node fault attribution: any non-default fate counts
+			// against the destination's inbound links. (MsgFault is not
+			// comparable — DupDelays is a slice — so test field by field.)
+			inner := hook
+			hook = func(from, to, kind, bytes int, now, delay float64) runenv.MsgFault {
+				f := inner(from, to, kind, bytes, now, delay)
+				if f.Drop || f.Reorder || f.ExtraDelay != 0 || len(f.DupDelays) > 0 {
+					s.CountFault(to)
+				}
+				return f
 			}
 		}
 		rcfg.FaultHook = hook

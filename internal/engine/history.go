@@ -60,3 +60,23 @@ func (h *History) ResidualSeries(rank int) (ts, rs []float64) {
 	}
 	return ts, rs
 }
+
+// CountSeries returns (times, owned-component counts) for one node — the
+// load-distribution trajectory under balancing. Counts are float64 for
+// direct use with the plotting helpers.
+func (h *History) CountSeries(rank int) (ts, cs []float64) {
+	for _, pt := range h.ByNode[rank] {
+		ts = append(ts, pt.Time)
+		cs = append(cs, float64(pt.Count))
+	}
+	return ts, cs
+}
+
+// WorkSeries returns (times, cumulative work units) for one node.
+func (h *History) WorkSeries(rank int) (ts, ws []float64) {
+	for _, pt := range h.ByNode[rank] {
+		ts = append(ts, pt.Time)
+		ws = append(ws, pt.Work)
+	}
+	return ts, ws
+}

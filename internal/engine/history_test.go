@@ -65,6 +65,29 @@ func TestHistoryCollection(t *testing.T) {
 	if len(ts) != len(rs) || len(ts) == 0 {
 		t.Fatalf("ResidualSeries: %d/%d", len(ts), len(rs))
 	}
+	cts, cs := h.CountSeries(0)
+	if len(cts) != len(ts) || len(cs) != len(ts) {
+		t.Fatalf("CountSeries: %d/%d, want %d", len(cts), len(cs), len(ts))
+	}
+	for i, pt := range h.ByNode[0] {
+		if cs[i] != float64(pt.Count) || cts[i] != pt.Time {
+			t.Fatalf("CountSeries[%d] = (%g, %g), want (%g, %d)", i, cts[i], cs[i], pt.Time, pt.Count)
+		}
+	}
+	wts, ws := h.WorkSeries(0)
+	if len(wts) != len(ts) || len(ws) != len(ts) {
+		t.Fatalf("WorkSeries: %d/%d, want %d", len(wts), len(ws), len(ts))
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i] < ws[i-1] {
+			t.Fatalf("WorkSeries not non-decreasing at %d: %g < %g", i, ws[i], ws[i-1])
+		}
+	}
+	for i, pt := range h.ByNode[0] {
+		if ws[i] != pt.Work {
+			t.Fatalf("WorkSeries[%d] = %g, want %g", i, ws[i], pt.Work)
+		}
+	}
 }
 
 func TestHistoryStride(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"aiac/internal/fault"
 	"aiac/internal/iterative"
 	"aiac/internal/loadbalance"
+	"aiac/internal/metrics"
 	"aiac/internal/runenv"
 	"aiac/internal/trace"
 )
@@ -69,6 +70,12 @@ type node struct {
 	loadEst     float64 // (smoothed) load estimate attached to messages
 	loadEstInit bool
 	iter        int // completed iterations
+
+	// Telemetry state (plain counters; cheap even with metrics disabled).
+	busyTime  float64    // cumulative compute-sweep time
+	msgsRecv  int        // data-plane messages received
+	lastHaloT [2]float64 // time the freshest halo from each direction was integrated
+	lastConv  bool       // last reported local-convergence state (metrics events)
 
 	nbLoad      [2]float64
 	nbLoadValid [2]bool
@@ -257,7 +264,9 @@ func (n *node) runAsync() {
 		n.sweep(true)
 		n.sendBoundary(dirRight, n.loadEst, n.iter)
 		n.iter++
-		n.client.AfterIteration(n.env, n.residual < cfg.Tol)
+		conv := n.residual < cfg.Tol
+		n.noteConv(conv)
+		n.client.AfterIteration(n.env, conv)
 		if n.iter >= cfg.MaxIter {
 			n.client.Abort(n.env)
 			n.waitHalt()
@@ -283,6 +292,7 @@ func (n *node) runSync() {
 		n.sendBoundary(dirRight, n.loadEst, k)
 		n.iter++
 		conv := n.residual < cfg.Tol
+		n.noteConv(conv)
 		if cfg.Mode == SISC {
 			halt, ok := n.barrier(k, conv, n.iter >= cfg.MaxIter)
 			if halt || !ok {
@@ -361,12 +371,16 @@ func (n *node) sweep(midSendLeft bool) {
 	n.inSweep = false
 	n.residual = res
 	n.iterTime = n.env.Now() - t0
+	n.busyTime += n.iterTime
 	n.updateLoadEst()
 	if h := cfg.History; h != nil {
 		h.record(n.rank, HistoryPoint{
 			Time: n.env.Now(), Iter: n.iter, Residual: res,
 			Count: n.endC - n.startC, Work: n.outc.work,
 		})
+	}
+	if s := cfg.Metrics; s != nil {
+		n.sampleMetrics(s, res)
 	}
 	if n.traceOn() {
 		n.env.Trace(trace.Event{
@@ -548,6 +562,7 @@ func (n *node) handleMsg(m runenv.Msg) {
 		}
 		return
 	}
+	n.msgsRecv++
 	switch m.Kind {
 	case kindBoundary:
 		n.recvBoundary(m)
@@ -586,6 +601,7 @@ func (n *node) recvBoundary(m runenv.Msg) {
 		return // reordered or duplicated stale halo: fresher data already integrated
 	}
 	n.nbHaloIter[dir] = b.Iter
+	n.lastHaloT[dir] = n.env.Now()
 	for i, tr := range b.Comps {
 		n.val.set(b.Pos+i, tr)
 	}
@@ -622,6 +638,66 @@ func (n *node) updateLoadEst() {
 		return
 	}
 	n.loadEst = alpha*raw + (1-alpha)*n.loadEst
+}
+
+// sampleMetrics offers the post-sweep observation of this node to the
+// telemetry sink (which decides whether to keep it).
+func (n *node) sampleMetrics(s *metrics.Sink, res float64) {
+	now := n.env.Now()
+	pend := 0
+	for dir := 0; dir < 2; dir++ {
+		if n.lbPending[dir] {
+			pend++
+		}
+	}
+	s.Sample(n.rank, metrics.NodeSample{
+		T:         now,
+		Iter:      n.iter,
+		Residual:  res,
+		Count:     n.endC - n.startC,
+		Queue:     n.env.Pending(),
+		HaloAge:   n.haloAge(now),
+		LBPending: pend,
+		MsgsSent:  uint64(n.outc.msgsBoundary + n.outc.lbSent + n.outc.lbRetries),
+		MsgsRecv:  uint64(n.msgsRecv),
+		Faults:    s.FaultCount(n.rank),
+		Work:      n.outc.work,
+		Busy:      n.busyTime,
+	})
+}
+
+// haloAge returns the age of the staler of the two directions' freshest
+// integrated halo data. Before anything arrives from a direction the node is
+// still computing on the t=0 initial values, so the age runs from the start.
+// Nodes with no neighbors (P = 1) report 0.
+func (n *node) haloAge(now float64) float64 {
+	age := 0.0
+	for dir := 0; dir < 2; dir++ {
+		peer := n.rank - 1
+		if dir == dirRight {
+			peer = n.rank + 1
+		}
+		if peer < 0 || peer >= n.p {
+			continue
+		}
+		if a := now - n.lastHaloT[dir]; a > age {
+			age = a
+		}
+	}
+	return age
+}
+
+// noteConv records a convergence-timeline event when the node's local
+// convergence state flips (metrics enabled only).
+func (n *node) noteConv(conv bool) {
+	if s := n.cfg.Metrics; s != nil && conv != n.lastConv {
+		name := "conv"
+		if !conv {
+			name = "relapse"
+		}
+		s.Event(n.env.Now(), n.rank, name, "")
+		n.lastConv = conv
+	}
 }
 
 func (n *node) traceOn() bool {

@@ -154,6 +154,7 @@ func All(scale Scale) []Report {
 		FullHorizon(scale),
 		Mapping(scale),
 		Robustness(scale),
+		LoadTelemetry(scale),
 	)
 	return reports
 }

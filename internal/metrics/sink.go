@@ -1,0 +1,261 @@
+package metrics
+
+import (
+	"sync"
+
+	"aiac/internal/detect"
+	"aiac/internal/runenv"
+)
+
+// NodeSample is one periodic observation of one node. Times are virtual
+// seconds; cumulative fields count since the start of the run.
+type NodeSample struct {
+	T        float64 `json:"t"`
+	Iter     int     `json:"iter"`
+	Residual float64 `json:"residual"`
+	// Count is the number of components the node owns.
+	Count int `json:"count"`
+	// Queue is the node's mailbox depth at sample time.
+	Queue int `json:"queue"`
+	// HaloAge is the age (seconds) of the oldest halo data currently held
+	// from an existing neighbor: how stale the node's inputs are.
+	HaloAge float64 `json:"halo_age"`
+	// IdleFrac is the fraction of the window since the previous accepted
+	// sample not spent in compute sweeps (waits, drains, handshakes).
+	IdleFrac float64 `json:"idle_frac"`
+	// LBPending counts directions (0-2) with an unresolved outbound
+	// transfer — the LB handshake state.
+	LBPending int `json:"lb_pending"`
+	// MsgsSent and MsgsRecv are cumulative data-plane message counts.
+	MsgsSent uint64 `json:"msgs_sent"`
+	MsgsRecv uint64 `json:"msgs_recv"`
+	// Faults is the cumulative count of injected faults on this node's
+	// inbound links.
+	Faults uint64 `json:"faults"`
+	// Work is the cumulative work in abstract units; Busy the cumulative
+	// compute time in seconds.
+	Work float64 `json:"work"`
+	Busy float64 `json:"busy"`
+}
+
+// Event is one timestamped occurrence on the convergence/control timeline.
+// Node is -1 for detector-side events.
+type Event struct {
+	T      float64 `json:"t"`
+	Node   int     `json:"node"`
+	Name   string  `json:"name"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// nodeSeries is one node's bounded snapshot buffer. Only that node's
+// process writes it, so no locking is needed (matching engine.History).
+type nodeSeries struct {
+	samples []NodeSample
+	// minGap is the node's effective sampling interval; it doubles every
+	// time the buffer thins itself, bounding memory while keeping
+	// full-horizon coverage.
+	minGap float64
+	lastT  float64
+	have   bool
+}
+
+// Default bounds, overridable on the Sink before the run starts.
+const (
+	DefaultCap      = 2048
+	DefaultEventCap = 4096
+)
+
+// Sink collects one run's telemetry. Configure the public knobs before the
+// run; engine.Run calls Start, the instrumentation hooks feed it during the
+// run, and FinishRun seals the manifest. A Sink is single-use.
+//
+// Concurrency: per-node samples are written only by the owning process;
+// counters, gauges and the histogram are atomic; the event log is
+// mutex-guarded. This makes every hook safe under both runtimes.
+type Sink struct {
+	// Period is the minimum virtual-time spacing (seconds) between two
+	// accepted samples of the same node; 0 samples every iteration (until
+	// the buffer starts thinning itself).
+	Period float64
+	// Cap bounds each node's sample buffer (default DefaultCap): when a
+	// buffer fills, every second sample is dropped and the node's sampling
+	// interval doubles, so arbitrarily long runs keep whole-run coverage
+	// in bounded memory.
+	Cap int
+	// EventCap bounds the event log (default DefaultEventCap); later
+	// events are counted but not stored.
+	EventCap int
+
+	// Manifest is the run's configuration echo and outcome. Callers may
+	// pre-fill naming fields (problem, cluster, host info); engine.Run
+	// fills the rest and the outcome.
+	Manifest Manifest
+
+	nodes  []nodeSeries
+	faults []Counter
+
+	mu            sync.Mutex
+	events        []Event
+	eventsDropped uint64
+
+	// Delivered and Control count messages entering mailboxes (data-plane
+	// vs convergence-detection kinds); QueueMax tracks the deepest mailbox
+	// observed; Latency is the send-to-delivery latency distribution.
+	Delivered Counter
+	Control   Counter
+	QueueMax  Gauge
+	Latency   Histogram
+}
+
+// Start sizes the per-node state for p nodes. engine.Run calls it once
+// before the world starts.
+func (s *Sink) Start(p int) {
+	if s.Cap <= 0 {
+		s.Cap = DefaultCap
+	}
+	if s.EventCap <= 0 {
+		s.EventCap = DefaultEventCap
+	}
+	s.nodes = make([]nodeSeries, p)
+	s.faults = make([]Counter, p)
+}
+
+// Sample offers one observation for a node; the sink accepts it when the
+// node's sampling interval has elapsed (and always accepts the first).
+// sm.IdleFrac is computed here from the Busy/T deltas between accepted
+// samples, so callers pass cumulative Busy and leave IdleFrac zero.
+// Must be called only by the node's own process.
+func (s *Sink) Sample(rank int, sm NodeSample) {
+	if s == nil || rank < 0 || rank >= len(s.nodes) {
+		return
+	}
+	ns := &s.nodes[rank]
+	gap := s.Period
+	if ns.minGap > gap {
+		gap = ns.minGap
+	}
+	if ns.have && sm.T-ns.lastT < gap {
+		return
+	}
+	if ns.have {
+		if dt := sm.T - ns.lastT; dt > 0 {
+			prev := ns.samples[len(ns.samples)-1]
+			idle := 1 - (sm.Busy-prev.Busy)/dt
+			if idle < 0 {
+				idle = 0
+			}
+			if idle > 1 {
+				idle = 1
+			}
+			sm.IdleFrac = idle
+		}
+	}
+	ns.lastT = sm.T
+	ns.have = true
+	ns.samples = append(ns.samples, sm)
+	if len(ns.samples) >= s.Cap {
+		ns.thin()
+	}
+}
+
+// thin halves the buffer (keeping every second sample, newest last) and
+// doubles the node's sampling interval.
+func (ns *nodeSeries) thin() {
+	keep := 0
+	for i := 0; i < len(ns.samples); i += 2 {
+		ns.samples[keep] = ns.samples[i]
+		keep++
+	}
+	if ns.minGap == 0 {
+		// derive the current spacing so the doubled interval is meaningful
+		// even when Period is 0 (sample-every-iteration mode)
+		span := ns.samples[keep-1].T - ns.samples[0].T
+		if n := keep - 1; n > 0 {
+			ns.minGap = span / float64(n)
+		}
+	}
+	ns.minGap *= 2
+	ns.samples = ns.samples[:keep]
+}
+
+// Event appends to the convergence/control timeline (node -1 = detector).
+func (s *Sink) Event(t float64, node int, name, detail string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.events) >= s.EventCap {
+		s.eventsDropped++
+	} else {
+		s.events = append(s.events, Event{T: t, Node: node, Name: name, Detail: detail})
+	}
+	s.mu.Unlock()
+}
+
+// CountFault records one injected fault on the given destination node's
+// inbound traffic.
+func (s *Sink) CountFault(node int) {
+	if s == nil || node < 0 || node >= len(s.faults) {
+		return
+	}
+	s.faults[node].Inc()
+}
+
+// FaultCount returns the cumulative inbound-fault count of a node.
+func (s *Sink) FaultCount(node int) uint64 {
+	if s == nil || node < 0 || node >= len(s.faults) {
+		return 0
+	}
+	return s.faults[node].Value()
+}
+
+// MsgDelivered implements runenv.Observer: it classifies the message
+// (data plane vs detection control), tracks queue depth and the
+// send-to-delivery latency distribution.
+func (s *Sink) MsgDelivered(m runenv.Msg, depth int) {
+	if s == nil {
+		return
+	}
+	if m.Kind >= detect.KindBase {
+		s.Control.Inc()
+	} else {
+		s.Delivered.Inc()
+	}
+	s.QueueMax.Max(float64(depth))
+	s.Latency.Observe(m.RecvT - m.SendT)
+}
+
+// FinishRun seals the run's outcome into the manifest.
+func (s *Sink) FinishRun(out Outcome) {
+	if s == nil {
+		return
+	}
+	s.Manifest.Outcome = &out
+}
+
+// Events returns a copy of the stored timeline and the overflow count.
+func (s *Sink) Events() ([]Event, uint64) {
+	if s == nil {
+		return nil, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...), s.eventsDropped
+}
+
+// Samples returns one node's stored samples (the live slice; callers must
+// not mutate it and must not call this during the run).
+func (s *Sink) Samples(rank int) []NodeSample {
+	if s == nil || rank < 0 || rank >= len(s.nodes) {
+		return nil
+	}
+	return s.nodes[rank].samples
+}
+
+// Nodes returns how many per-node series the sink holds.
+func (s *Sink) Nodes() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.nodes)
+}

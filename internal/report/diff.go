@@ -1,0 +1,217 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"aiac/internal/asciiplot"
+	"aiac/internal/metrics"
+	"aiac/internal/stats"
+)
+
+// diffGridPoints is the uniform-grid resolution used to overlay two runs
+// whose samplers fired at different virtual times.
+const diffGridPoints = 96
+
+// RenderDiff renders a side-by-side comparison of two runs: overlaid
+// residual envelopes, load-spread trajectories, and an outcome table with
+// B/A ratios. This is the report behind the paper's central comparison —
+// the same problem solved with and without load balancing.
+func RenderDiff(a, b *metrics.Run, opt Options) string {
+	opt = opt.withDefaults()
+	var sb strings.Builder
+	an, bn := runLabel(a, "A"), runLabel(b, "B")
+	if an == bn {
+		an, bn = an+" (A)", bn+" (B)"
+	}
+	fmt.Fprintf(&sb, "comparing A = %s vs B = %s\n", an, bn)
+	writeDiffResiduals(&sb, a, b, an, bn, opt)
+	writeDiffLoadSpread(&sb, a, b, an, bn, opt)
+	writeDiffTable(&sb, a, b, an, bn)
+	return sb.String()
+}
+
+func runLabel(r *metrics.Run, fallback string) string {
+	if r.Manifest.Name != "" {
+		return r.Manifest.Name
+	}
+	return fallback
+}
+
+// uniformGrid returns n times evenly spanning (0, end].
+func uniformGrid(end float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = end * float64(i+1) / float64(n)
+	}
+	return out
+}
+
+// resample steps a sampled series onto a grid: at each grid time the value
+// of the newest sample at or before it (NaN before the first sample).
+func resample(ts, vs []float64, grid []float64) []float64 {
+	out := make([]float64, len(grid))
+	j := 0
+	for i, t := range grid {
+		for j < len(ts) && ts[j] <= t {
+			j++
+		}
+		if j == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = vs[j-1]
+		}
+	}
+	return out
+}
+
+// series extracts one node's (times, f(sample)) series.
+func series(row []metrics.NodeSample, f func(metrics.NodeSample) float64) (ts, vs []float64) {
+	for _, sm := range row {
+		ts = append(ts, sm.T)
+		vs = append(vs, f(sm))
+	}
+	return ts, vs
+}
+
+// envelope resamples every node of a run onto the grid and folds the
+// per-node values with agg (skipping nodes that have no data yet).
+func envelope(run *metrics.Run, grid []float64, f func(metrics.NodeSample) float64,
+	agg func(acc, v float64) float64, init float64) []float64 {
+	out := make([]float64, len(grid))
+	have := make([]bool, len(grid))
+	for i := range out {
+		out[i] = init
+	}
+	for _, row := range run.Samples {
+		ts, vs := series(row, f)
+		rv := resample(ts, vs, grid)
+		for i, v := range rv {
+			if math.IsNaN(v) {
+				continue
+			}
+			out[i] = agg(out[i], v)
+			have[i] = true
+		}
+	}
+	for i := range out {
+		if !have[i] {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// gridSeries drops NaN grid points, returning a plottable series.
+func gridSeries(grid, vs []float64, keep func(v float64) bool) (xs, ys []float64) {
+	for i, v := range vs {
+		if math.IsNaN(v) || !keep(v) {
+			continue
+		}
+		xs = append(xs, grid[i])
+		ys = append(ys, v)
+	}
+	return xs, ys
+}
+
+func writeDiffResiduals(sb *strings.Builder, a, b *metrics.Run, an, bn string, opt Options) {
+	end := math.Max(runDuration(a), runDuration(b))
+	if end <= 0 {
+		return
+	}
+	grid := uniformGrid(end, diffGridPoints)
+	maxAgg := func(acc, v float64) float64 { return math.Max(acc, v) }
+	ra := envelope(a, grid, func(sm metrics.NodeSample) float64 { return sm.Residual }, maxAgg, math.Inf(-1))
+	rb := envelope(b, grid, func(sm metrics.NodeSample) float64 { return sm.Residual }, maxAgg, math.Inf(-1))
+	pos := func(v float64) bool { return v > 0 }
+	xa, ya := gridSeries(grid, ra, pos)
+	xb, yb := gridSeries(grid, rb, pos)
+	title(sb, "max residual over time")
+	if len(xa) == 0 && len(xb) == 0 {
+		fmt.Fprintf(sb, "(no samples)\n")
+		return
+	}
+	sb.WriteString(asciiplot.Plot(asciiplot.Config{
+		Width: opt.Width, Height: opt.Height, LogY: true,
+		XLabel: "virtual s", YLabel: "max residual",
+	},
+		asciiplot.Series{Name: an, X: xa, Y: ya},
+		asciiplot.Series{Name: bn, X: xb, Y: yb},
+	))
+}
+
+// loadSpread is max-min owned components across nodes at each grid time: 0
+// means a perfectly even distribution.
+func loadSpread(run *metrics.Run, grid []float64) []float64 {
+	count := func(sm metrics.NodeSample) float64 { return float64(sm.Count) }
+	hi := envelope(run, grid, count, math.Max, math.Inf(-1))
+	lo := envelope(run, grid, count, math.Min, math.Inf(1))
+	out := make([]float64, len(grid))
+	for i := range out {
+		if math.IsNaN(hi[i]) || math.IsNaN(lo[i]) {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = hi[i] - lo[i]
+	}
+	return out
+}
+
+func writeDiffLoadSpread(sb *strings.Builder, a, b *metrics.Run, an, bn string, opt Options) {
+	end := math.Max(runDuration(a), runDuration(b))
+	if end <= 0 {
+		return
+	}
+	grid := uniformGrid(end, diffGridPoints)
+	sa := loadSpread(a, grid)
+	sc := loadSpread(b, grid)
+	all := func(float64) bool { return true }
+	xa, ya := gridSeries(grid, sa, all)
+	xb, yb := gridSeries(grid, sc, all)
+	title(sb, "load imbalance over time (max-min components)")
+	if len(xa) == 0 && len(xb) == 0 {
+		fmt.Fprintf(sb, "(no samples)\n")
+		return
+	}
+	sb.WriteString(asciiplot.Plot(asciiplot.Config{
+		Width: opt.Width, Height: opt.Height,
+		XLabel: "virtual s", YLabel: "spread",
+	},
+		asciiplot.Series{Name: an, X: xa, Y: ya},
+		asciiplot.Series{Name: bn, X: xb, Y: yb},
+	))
+}
+
+func writeDiffTable(sb *strings.Builder, a, b *metrics.Run, an, bn string) {
+	title(sb, "outcomes")
+	t := stats.NewTable("metric", an, bn, "B/A")
+	row := func(name string, va, vb float64, format string) {
+		ratio := "-"
+		if va != 0 {
+			ratio = fmt.Sprintf("%.3f", vb/va)
+		}
+		t.AddRow(name, fmt.Sprintf(format, va), fmt.Sprintf(format, vb), ratio)
+	}
+	oa, ob := a.Manifest.Outcome, b.Manifest.Outcome
+	if oa == nil || ob == nil {
+		fmt.Fprintf(sb, "(one of the runs has no sealed outcome)\n")
+		return
+	}
+	bool01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	row("converged", bool01(oa.Converged), bool01(ob.Converged), "%.0f")
+	row("time (virtual s)", oa.Time, ob.Time, "%.5g")
+	row("total iterations", float64(oa.TotalIters), float64(ob.TotalIters), "%.0f")
+	row("total work", oa.TotalWork, ob.TotalWork, "%.5g")
+	row("max residual", oa.MaxResidual, ob.MaxResidual, "%.3g")
+	row("boundary messages", float64(oa.BoundaryMsgs), float64(ob.BoundaryMsgs), "%.0f")
+	row("LB transfers", float64(oa.LBTransfers), float64(ob.LBTransfers), "%.0f")
+	row("LB components moved", float64(oa.LBCompsMoved), float64(ob.LBCompsMoved), "%.0f")
+	row("data deliveries", float64(a.Delivered), float64(b.Delivered), "%.0f")
+	sb.WriteString(t.String())
+}

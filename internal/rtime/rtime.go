@@ -262,8 +262,12 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 		m.RecvT = w.now()
 		dst.mu.Lock()
 		dst.mailbox = append(dst.mailbox, m)
+		depth := len(dst.mailbox)
 		dst.cond.Broadcast()
 		dst.mu.Unlock()
+		if obs := w.cfg.Observer; obs != nil {
+			obs.MsgDelivered(m, depth)
+		}
 		ps.mu.Lock()
 		ps.nextDeliver++
 		ps.cond.Broadcast()
@@ -282,8 +286,12 @@ func (w *world) deliverLoose(m runenv.Msg, wait time.Duration) {
 		m.RecvT = w.now()
 		dst.mu.Lock()
 		dst.mailbox = append(dst.mailbox, m)
+		depth := len(dst.mailbox)
 		dst.cond.Broadcast()
 		dst.mu.Unlock()
+		if obs := w.cfg.Observer; obs != nil {
+			obs.MsgDelivered(m, depth)
+		}
 	}()
 }
 
@@ -312,6 +320,12 @@ func (e *env) RecvWait() (runenv.Msg, bool) {
 	m := p.mailbox[0]
 	p.mailbox = p.mailbox[1:]
 	return m, true
+}
+
+func (e *env) Pending() int {
+	e.p.mu.Lock()
+	defer e.p.mu.Unlock()
+	return len(e.p.mailbox)
 }
 
 func (e *env) Stopped() bool { return e.p.w.isStopped() }

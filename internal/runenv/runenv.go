@@ -62,6 +62,20 @@ type Env interface {
 	Rand() *rand.Rand
 	// Trace records an event if tracing is enabled, else it is a no-op.
 	Trace(ev trace.Event)
+	// Pending returns the number of messages currently queued in this
+	// process's mailbox without consuming anything (telemetry).
+	Pending() int
+}
+
+// Observer receives runtime telemetry callbacks. Implementations must be
+// safe for concurrent use: the real-time runtime invokes them from
+// free-running delivery goroutines. See internal/metrics for the standard
+// implementation.
+type Observer interface {
+	// MsgDelivered is called when a message enters the destination
+	// mailbox; depth is the mailbox depth including the new message, and
+	// m.RecvT - m.SendT is the end-to-end delivery latency.
+	MsgDelivered(m Msg, depth int)
 }
 
 // Config describes a world: how many processes, how expensive computation is
@@ -86,6 +100,10 @@ type Config struct {
 	// it keeps, and — like Delay — safe for concurrent use under the
 	// real-time runtime. See internal/fault for the standard implementation.
 	FaultHook func(from, to, kind, bytes int, now, delay float64) MsgFault
+	// Observer, when non-nil, receives runtime telemetry (message
+	// deliveries with queue depth and latency). A nil Observer costs the
+	// runtimes one pointer check per delivery and no allocations.
+	Observer Observer
 	// Seed seeds the per-process RNGs (process i uses Seed + i).
 	Seed int64
 	// Trace, when non-nil, collects events emitted via Env.Trace.

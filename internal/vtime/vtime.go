@@ -210,6 +210,9 @@ func (s *Scheduler) Run(bodies []runenv.Body) float64 {
 			m := ev.msg
 			m.RecvT = ev.t
 			p.mailbox = append(p.mailbox, m)
+			if obs := s.cfg.Observer; obs != nil {
+				obs.MsgDelivered(m, len(p.mailbox)-p.mboxHead)
+			}
 			if p.waiting {
 				p.waiting = false
 				if ev.t > p.clock {
@@ -398,6 +401,8 @@ func (e *env) RecvWait() (runenv.Msg, bool) {
 	}
 	return p.mboxPop(), true
 }
+
+func (e *env) Pending() int { return len(e.p.mailbox) - e.p.mboxHead }
 
 func (e *env) Stopped() bool { return e.p.sched.stopped }
 

@@ -1,0 +1,42 @@
+package aiac_test
+
+import (
+	"testing"
+
+	"aiac"
+)
+
+// TestSolveAllocBudgetWithoutMetrics pins the allocation cost of a complete
+// load-balanced AIAC solve with telemetry disabled (Config.Metrics nil).
+// The instrumentation hooks in the engine and runtimes are nil-checked
+// inline, so leaving metrics off must not add allocations to the hot path;
+// the budget tracks BenchmarkAIACSolve in BENCH_1.json (2776 allocs/op)
+// with headroom for seed-to-seed variation, and a regression here means an
+// instrumentation call leaked into the disabled path.
+func TestSolveAllocBudgetWithoutMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full solves under AllocsPerRun are too slow for -short")
+	}
+	params := aiac.BrusselatorParams(32, 0.05)
+	params.T = 1
+	prob := aiac.NewBrusselator(params)
+	allocs := testing.AllocsPerRun(3, func() {
+		res, err := aiac.Solve(aiac.Config{
+			Mode: aiac.AIAC, P: 4, Problem: prob,
+			Cluster: aiac.Homogeneous(4),
+			Tol:     1e-7, MaxIter: 100000,
+			LB: aiac.DefaultLBPolicy(), Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatal("did not converge")
+		}
+	})
+	const budget = 3400
+	t.Logf("disabled-metrics solve: %.0f allocs", allocs)
+	if allocs > budget {
+		t.Errorf("solve with metrics disabled allocated %.0f times, budget %d", allocs, budget)
+	}
+}
