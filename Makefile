@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json check test-faults fmt-check report
+.PHONY: build test vet race bench bench-json bench-diff check test-faults fmt-check report
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ bench:
 BENCH_OUT ?= BENCH_1.json
 bench-json:
 	$(GO) test -run NONE -bench . -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# Run the benchmarks and print per-benchmark ns/op deltas against the most
+# recently recorded BENCH_*.json (highest number wins).
+bench-diff:
+	$(GO) test -run NONE -bench . -benchmem . | \
+		$(GO) run ./cmd/benchjson -diff "$$(ls BENCH_*.json | sort -V | tail -1)"
 
 # Everything must stay gofmt-clean; prints the offending files on failure.
 fmt-check:

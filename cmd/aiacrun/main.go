@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"aiac"
@@ -45,14 +47,18 @@ func main() {
 		traceIters  = flag.Int("trace-iters", 12, "iterations covered by -trace (0 = all)")
 		metricsOut  = flag.String("metrics", "", "write run telemetry (manifest + per-node series) to this JSONL file; render it with aiacreport")
 		metricsPer  = flag.Float64("metrics-period", 0, "minimum virtual seconds between telemetry samples of a node (0 = every iteration)")
+		simWorkers  = flag.Int("sim-workers", 0, "virtual-time scheduler worker threads (0 or 1 = sequential; results are bit-identical at any setting)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile (after the solve) to this file")
 	)
 	flag.Parse()
 
 	cfg := aiac.Config{
-		P:       *p,
-		Tol:     *tol,
-		MaxIter: *maxIter,
-		Seed:    *seed,
+		P:          *p,
+		Tol:        *tol,
+		MaxIter:    *maxIter,
+		Seed:       *seed,
+		SimWorkers: *simWorkers,
 	}
 
 	switch strings.ToLower(*modeName) {
@@ -165,9 +171,42 @@ func main() {
 		cfg.Metrics = sink
 	}
 
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		cpuFile = f
+	}
+
 	res, err := aiac.Solve(cfg)
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuFile.Close(); cerr != nil {
+			fatalf("closing %s: %v", *cpuProfile, cerr)
+		}
+	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("writing heap profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", *memProfile, err)
+		}
 	}
 
 	if sink != nil {

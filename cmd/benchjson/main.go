@@ -5,11 +5,17 @@
 // Usage:
 //
 //	go test -run NONE -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_1.json -note "PR 1"
+//	go test -run NONE -bench . -benchmem . | go run ./cmd/benchjson -diff BENCH_1.json
 //
 // It reads the benchmark text on stdin (or from -i), keeps the metadata
 // lines (goos, goarch, pkg, cpu) and every benchmark result line, and
 // writes one JSON document. Unrecognized lines are ignored, so the input
 // may be a full `go test` transcript.
+//
+// With -diff it instead compares the input against a previously recorded
+// JSON document and prints one line per benchmark with old/new ns/op and
+// the relative change (negative = faster now). -o may still be given to
+// record the new document in the same invocation.
 package main
 
 import (
@@ -52,9 +58,10 @@ type Document struct {
 
 func main() {
 	var (
-		inPath  = flag.String("i", "", "input file (default stdin)")
-		outPath = flag.String("o", "", "output file (default stdout)")
-		note    = flag.String("note", "", "free-form note stored in the document")
+		inPath   = flag.String("i", "", "input file (default stdin)")
+		outPath  = flag.String("o", "", "output file (default stdout)")
+		note     = flag.String("note", "", "free-form note stored in the document")
+		diffPath = flag.String("diff", "", "previously recorded JSON document to compare the input against")
 	)
 	flag.Parse()
 
@@ -75,19 +82,81 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fatalf("no benchmark lines found in input")
 	}
+	if *diffPath != "" {
+		old, err := readDoc(*diffPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printDiff(os.Stdout, *diffPath, old, doc)
+		if *outPath != "" {
+			writeDoc(*outPath, doc)
+		}
+		return
+	}
+	if *outPath == "" {
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		os.Stdout.Write(append(blob, '\n'))
+		return
+	}
+	writeDoc(*outPath, doc)
+}
+
+func writeDoc(path string, doc *Document) {
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatalf("%v", err)
 	}
-	blob = append(blob, '\n')
-	if *outPath == "" {
-		os.Stdout.Write(blob)
-		return
-	}
-	if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *outPath)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), path)
+}
+
+// readDoc loads a document previously written by this tool.
+func readDoc(path string) (*Document, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &doc, nil
+}
+
+// printDiff prints one line per benchmark of the new document with the old
+// ns/op beside it. Benchmarks only present on one side are reported too, so
+// a renamed or deleted benchmark cannot silently vanish from the record.
+func printDiff(w io.Writer, oldName string, old, cur *Document) {
+	oldNs := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldNs[b.Name] = b.NsPerOp
+	}
+	fmt.Fprintf(w, "vs %s (%s)\n", oldName, old.Note)
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		seen[b.Name] = true
+		prev, ok := oldNs[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-52s %14s %14.0f %9s\n", b.Name, "-", b.NsPerOp, "new")
+			continue
+		}
+		delta := "n/a"
+		if prev > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(b.NsPerOp-prev)/prev)
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %9s\n", b.Name, prev, b.NsPerOp, delta)
+	}
+	for _, b := range old.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "%-52s %14.0f %14s %9s\n", b.Name, b.NsPerOp, "-", "gone")
+		}
+	}
 }
 
 // Parse reads a `go test -bench` transcript and extracts the document.

@@ -174,6 +174,15 @@ type Config struct {
 	// Runner selects the runtime; nil means the deterministic
 	// virtual-time runtime.
 	Runner runenv.Runner
+
+	// SimWorkers enables the conservative-lookahead parallel mode of the
+	// virtual-time scheduler: the engine partitions the processes into
+	// groups separated by a provable minimum link delay (see planGroups)
+	// and up to SimWorkers groups execute concurrently. Results — solver
+	// state, telemetry, traces — are bit-identical to a sequential run at
+	// any setting. 0 or 1 selects the sequential scheduler; the real-time
+	// runtime ignores the knob.
+	SimWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -499,21 +508,17 @@ type world struct {
 func newWorld(cfg Config) *world { return &world{cfg: cfg} }
 
 func (w *world) run(bodies []runenv.Body) float64 {
-	mapRank := func(i int) int {
-		if i >= w.cfg.P { // the detector is co-located with rank 0
-			i = 0
-		}
-		if w.cfg.Mapping != nil {
-			return w.cfg.Mapping[i]
-		}
-		return i
-	}
+	mapRank := w.cfg.mapRank
 	ser := grid.NewSerializer(w.cfg.Cluster)
 	rcfg := runenv.Config{
 		Procs:   len(bodies),
 		Seed:    w.cfg.Seed,
 		Trace:   w.cfg.Trace,
 		MaxTime: w.cfg.MaxTime,
+		// Pre-size the scheduler's event containers: a handful of in-
+		// flight events per process is typical (halo sends, LB handshake,
+		// detection control).
+		EventCapHint: 8 * len(bodies),
 		ComputeTime: func(node int, start, units float64) float64 {
 			return w.cfg.Cluster.ComputeTime(mapRank(node), start, units)
 		},
@@ -522,6 +527,13 @@ func (w *world) run(bodies []runenv.Body) float64 {
 		Delay: func(from, to, bytes int, now float64) float64 {
 			return ser.Delay(mapRank(from), mapRank(to), bytes, now)
 		},
+	}
+	if w.cfg.SimWorkers > 1 {
+		if groups, minDelay := planGroups(&w.cfg); groups != nil {
+			rcfg.Groups = groups
+			rcfg.MinDelay = minDelay
+			rcfg.SimWorkers = w.cfg.SimWorkers
+		}
 	}
 	if s := w.cfg.Metrics; s != nil {
 		rcfg.Observer = s
@@ -551,7 +563,7 @@ func (w *world) run(bodies []runenv.Body) float64 {
 			hook = func(from, to, kind, bytes int, now, delay float64) runenv.MsgFault {
 				f := inner(from, to, kind, bytes, now, delay)
 				if f.Drop || f.Reorder || f.ExtraDelay != 0 || len(f.DupDelays) > 0 {
-					s.CountFault(to)
+					s.CountFault(to, now)
 				}
 				return f
 			}

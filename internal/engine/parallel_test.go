@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"aiac/internal/brusselator"
+	"aiac/internal/fault"
+	"aiac/internal/grid"
+	"aiac/internal/loadbalance"
+	"aiac/internal/metrics"
+	"aiac/internal/trace"
+)
+
+// artifacts is everything a run can externalize: the solver result, the
+// telemetry export, and the trace. The parallel scheduler must reproduce
+// all of it bit-for-bit.
+type artifacts struct {
+	res    *Result
+	jsonl  []byte
+	traces []trace.Event
+}
+
+// runArtifacts executes one solver run with the given worker count and
+// captures its observable outputs. mk must return a fresh Config each call
+// (problems may be shared: they are stateless under concurrent Update).
+func runArtifacts(t *testing.T, mk func() Config, workers int) artifacts {
+	t.Helper()
+	cfg := mk()
+	cfg.SimWorkers = workers
+	s := &metrics.Sink{}
+	cfg.Metrics = s
+	log := &trace.Log{}
+	cfg.Trace = log
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	s.Manifest.Outcome.WallSeconds = 0 // the only host-dependent field
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return artifacts{res: res, jsonl: buf.Bytes(), traces: log.Events()}
+}
+
+func assertIdentical(t *testing.T, name string, seq, par artifacts, workers int) {
+	t.Helper()
+	if !reflect.DeepEqual(seq.res, par.res) {
+		t.Errorf("%s workers=%d: Result diverged\nseq: %+v\npar: %+v", name, workers, seq.res, par.res)
+	}
+	if !bytes.Equal(seq.jsonl, par.jsonl) {
+		t.Errorf("%s workers=%d: telemetry JSONL diverged (%d vs %d bytes)",
+			name, workers, len(seq.jsonl), len(par.jsonl))
+	}
+	if !reflect.DeepEqual(seq.traces, par.traces) {
+		t.Errorf("%s workers=%d: trace diverged (%d vs %d events)",
+			name, workers, len(seq.traces), len(par.traces))
+	}
+}
+
+// TestParallelEngineEquivalence pins the tentpole guarantee: running the
+// solver with SimWorkers > 1 produces bit-identical results, telemetry and
+// traces across the mode matrix, detection protocols, both paper platforms,
+// fault injection, and load balancing.
+func TestParallelEngineEquivalence(t *testing.T) {
+	small, _ := smallBruss()
+	wide := brusselator.New(func() brusselator.Params {
+		p := brusselator.DefaultParams(32, 0.05)
+		p.T = 1
+		return p
+	}())
+
+	cases := []struct {
+		name string
+		mk   func() Config
+	}{
+		{"aiac-lb-central-homogeneous", func() Config {
+			cfg := baseConfig(small, 4)
+			cfg.LB = loadbalance.DefaultPolicy()
+			cfg.LB.Period = 5
+			cfg.LB.MinKeep = 2
+			return cfg
+		}},
+		{"aiac-lb-ring-heterogrid", func() Config {
+			cfg := baseConfig(wide, 8)
+			cfg.Cluster = grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 42, MultiUser: true})
+			cfg.Detection = DetectRing
+			cfg.Tol = 1e-6
+			cfg.MaxTime = 30
+			cfg.LB = loadbalance.DefaultPolicy()
+			cfg.LB.Period = 10
+			cfg.LB.MinKeep = 2
+			return cfg
+		}},
+		{"aiac-faults-heterogrid", func() Config {
+			cfg := baseConfig(wide, 6)
+			cfg.Cluster = grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 7})
+			cfg.Tol = 1e-6
+			cfg.MaxTime = 30
+			cfg.Faults = &fault.Plan{Seed: 3, Msg: fault.Rates{Drop: 0.03, Dup: 0.02, Reorder: 0.05, Spike: 0.02}}
+			return cfg
+		}},
+		{"sisc-barrier-faulted", func() Config {
+			cfg := baseConfig(small, 4)
+			cfg.Mode = SISC
+			cfg.Faults = &fault.Plan{Seed: 11, Msg: fault.Rates{Spike: 0.1}}
+			return cfg
+		}},
+		{"siac-central-heterogeneous", func() Config {
+			cfg := baseConfig(small, 4)
+			cfg.Mode = SIAC
+			cfg.Cluster = grid.Heterogeneous(4, 0.3, 5)
+			return cfg
+		}},
+		{"aiacgeneral-ring-mapped", func() Config {
+			cfg := baseConfig(wide, 6)
+			cfg.Mode = AIACGeneral
+			cfg.Detection = DetectRing
+			cfg.Cluster = grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 1})
+			cfg.Mapping = grid.SiteOrderedMapping(cfg.Cluster)
+			cfg.Tol = 1e-6
+			cfg.MaxTime = 30
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			seq := runArtifacts(t, tc.mk, 0)
+			for _, workers := range []int{2, 4} {
+				par := runArtifacts(t, tc.mk, workers)
+				assertIdentical(t, tc.name, seq, par, workers)
+			}
+		})
+	}
+}
+
+// TestPlanGroups pins the partitioner's behavior on the two paper platforms.
+func TestPlanGroups(t *testing.T) {
+	prob, _ := smallBruss()
+
+	// Homogeneous LAN: all used links share one latency, so the best score
+	// is the finest partition — one group per node, detector with rank 0.
+	cfg := baseConfig(prob, 6)
+	cfg.Cluster = grid.Homogeneous(6)
+	groups, minDelay := planGroups(&cfg)
+	if groups == nil {
+		t.Fatal("homogeneous: no partition planned")
+	}
+	if minDelay != 1e-4 {
+		t.Fatalf("homogeneous: minDelay = %g, want the LAN latency 1e-4", minDelay)
+	}
+	if groups[0] != groups[6] {
+		t.Fatal("homogeneous: detector not co-grouped with rank 0")
+	}
+	if ng := countGroups(groups); ng != 6 {
+		t.Fatalf("homogeneous: %d groups, want 6 (per node)", ng)
+	}
+
+	// HeteroGrid15: the greedy merge fuses the Belfort site (which hosts
+	// the detector) to buy a 5 ms lookahead while the other ten nodes stay
+	// independent.
+	cfg = baseConfig(prob, 15)
+	cfg.Cluster = grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 42})
+	groups, minDelay = planGroups(&cfg)
+	if groups == nil {
+		t.Fatal("heterogrid: no partition planned")
+	}
+	if minDelay != 5e-3 {
+		t.Fatalf("heterogrid: minDelay = %g, want the Belfort-Montbeliard latency 5e-3", minDelay)
+	}
+	if ng := countGroups(groups); ng != 11 {
+		t.Fatalf("heterogrid: %d groups, want 11", ng)
+	}
+	for _, r := range []int{3, 6, 9, 12, 15} {
+		if groups[r] != groups[0] {
+			t.Fatalf("heterogrid: rank %d not grouped with the Belfort site", r)
+		}
+	}
+
+	// Single worker worlds cannot be partitioned.
+	cfg = baseConfig(prob, 1)
+	cfg.Cluster = grid.Homogeneous(1)
+	if groups, _ := planGroups(&cfg); groups != nil {
+		t.Fatal("P=1: expected no partition")
+	}
+}
+
+func countGroups(groups []int) int {
+	set := map[int]bool{}
+	for _, g := range groups {
+		set[g] = true
+	}
+	return len(set)
+}

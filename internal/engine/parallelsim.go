@@ -1,0 +1,154 @@
+package engine
+
+import "math"
+
+// This file plans the process-group partition behind Config.SimWorkers: the
+// conservative-lookahead scheduler (internal/vtime/parallel.go) can only run
+// groups concurrently when every link between two groups has a provable
+// minimum delay, so the engine derives both the partition and that bound
+// from the cluster's link latencies before the world starts.
+
+// mapRank returns the cluster node executing process i (the detector/barrier
+// process, rank P, is co-located with rank 0).
+func (c *Config) mapRank(i int) int {
+	if i >= c.P {
+		i = 0
+	}
+	if c.Mapping != nil {
+		return c.Mapping[i]
+	}
+	return i
+}
+
+// planGroups partitions the world's P+1 processes into execution groups and
+// returns the group assignment plus the guaranteed minimum delay of every
+// link crossing a group boundary, for runenv.Config.Groups / MinDelay. It
+// returns (nil, 0) when no partition allows concurrency (fewer than two
+// workers, or zero-latency links everywhere).
+//
+// Only links the engine actually uses constrain the partition: chain
+// neighbors (halo exchange and the LB handshake), and either the detector
+// star (central detection and the SISC barrier) or the ring protocol's
+// closure link. A link's latency lower-bounds its modeled delay — the
+// serializer only adds queuing and serialization time, and fault hooks only
+// add ExtraDelay — so the smallest cross-group latency is a sound lookahead.
+//
+// The partition is chosen by greedy single-linkage merging: start from one
+// group per cluster node (processes co-located on a node share the delay
+// model's per-sender state and must stay together), then repeatedly merge
+// the two groups joined by the lowest-latency used link. Every partition
+// along the way is a candidate scored by lookahead × (procs / largest
+// group)²: a wider window amortizes the per-window barrier over more events,
+// while the squared parallelizability term penalizes partitions whose
+// biggest group serializes most of the work. On the homogeneous LAN this
+// keeps one group per node; on the paper's heterogeneous grid it fuses each
+// fast site into one group and buys a site-scale (milliseconds) lookahead.
+func planGroups(cfg *Config) ([]int, float64) {
+	p := cfg.P
+	n := p + 1 // workers plus the detector/barrier process
+	if p < 2 {
+		return nil, 0
+	}
+
+	type edge struct {
+		a, b int
+		lat  float64
+	}
+	var edges []edge
+	seen := make(map[[2]int]bool)
+	add := func(i, j int) {
+		if i == j {
+			return
+		}
+		if i > j {
+			i, j = j, i
+		}
+		k := [2]int{i, j}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		lat := cfg.Cluster.Link(cfg.mapRank(i), cfg.mapRank(j)).Latency
+		edges = append(edges, edge{a: i, b: j, lat: lat})
+	}
+	for i := 0; i+1 < p; i++ {
+		add(i, i+1)
+	}
+	if cfg.Mode == SISC || cfg.Detection != DetectRing {
+		for i := 0; i < p; i++ {
+			add(i, p)
+		}
+	} else {
+		add(p-1, 0)
+	}
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(b)] = find(a) }
+	byNode := make(map[int]int)
+	for i := 0; i < n; i++ {
+		node := cfg.mapRank(i)
+		if first, ok := byNode[node]; ok {
+			union(first, i)
+		} else {
+			byNode[node] = i
+		}
+	}
+
+	var (
+		bestGroups []int
+		bestDelay  float64
+		bestScore  = math.Inf(-1)
+		bestNG     int
+	)
+	for {
+		minLat := math.Inf(1)
+		var ma, mb int
+		for _, e := range edges {
+			if find(e.a) != find(e.b) && e.lat < minLat {
+				minLat, ma, mb = e.lat, e.a, e.b
+			}
+		}
+		if math.IsInf(minLat, 1) {
+			// The remaining groups never exchange messages (e.g. the inert
+			// detector slot under ring detection) — keeping them apart buys
+			// no real concurrency, so such partitions are not candidates.
+			break
+		}
+		size := make(map[int]int)
+		for i := 0; i < n; i++ {
+			size[find(i)]++
+		}
+		if ng := len(size); ng >= 2 && minLat > 0 {
+			largest := 0
+			for _, sz := range size {
+				if sz > largest {
+					largest = sz
+				}
+			}
+			par := float64(n) / float64(largest)
+			score := minLat * par * par
+			if score > bestScore || (score == bestScore && ng > bestNG) {
+				bestGroups = make([]int, n)
+				for i := 0; i < n; i++ {
+					bestGroups[i] = find(i)
+				}
+				bestDelay, bestScore, bestNG = minLat, score, ng
+			}
+		}
+		union(ma, mb)
+	}
+	if bestDelay <= 0 {
+		return nil, 0
+	}
+	return bestGroups, bestDelay
+}

@@ -15,30 +15,38 @@ import "sync"
 type Serializer struct {
 	Cluster *Cluster
 
-	mu   sync.Mutex
-	busy map[[2]int]float64 // channel free-at time
+	mu sync.Mutex
+	n  int
+	// busy[from*n+to] is the channel's free-at time; the zero value means
+	// the channel has never been used, which behaves identically because
+	// simulation times are non-negative. A flat slice keeps the per-send
+	// cost to one indexed load instead of a map lookup with key boxing.
+	busy []float64
 }
 
 // NewSerializer creates a serializer for one execution on the cluster.
 func NewSerializer(c *Cluster) *Serializer {
-	return &Serializer{Cluster: c, busy: make(map[[2]int]float64)}
+	n := c.P()
+	return &Serializer{Cluster: c, n: n, busy: make([]float64, n*n)}
 }
 
 // Delay implements runenv.Config.Delay with per-channel queuing. It is safe
-// for concurrent use.
+// for concurrent use; the busy state is keyed per directed channel, so the
+// deterministic call order the parallel virtual-time scheduler guarantees
+// per sending node is enough to keep results reproducible.
 func (s *Serializer) Delay(from, to, bytes int, now float64) float64 {
 	link := s.Cluster.Link(from, to)
 	ser := 0.0
 	if link.Bandwidth > 0 {
 		ser = float64(bytes) / link.Bandwidth
 	}
-	key := [2]int{from, to}
+	idx := from*s.n + to
 	s.mu.Lock()
 	start := now
-	if b, ok := s.busy[key]; ok && b > start {
+	if b := s.busy[idx]; b > start {
 		start = b
 	}
-	s.busy[key] = start + ser
+	s.busy[idx] = start + ser
 	s.mu.Unlock()
 	return (start - now) + ser + link.Latency
 }

@@ -32,7 +32,7 @@ func TestNilInstruments(t *testing.T) {
 	var sink *Sink
 	sink.Sample(0, NodeSample{})
 	sink.Event(0, 0, "x", "")
-	sink.CountFault(0)
+	sink.CountFault(0, 0)
 	sink.MsgDelivered(runenv.Msg{}, 1)
 	sink.FinishRun(Outcome{})
 	if sink.FaultCount(0) != 0 || sink.Nodes() != 0 {
@@ -252,7 +252,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	s.Sample(0, NodeSample{T: 1, Iter: 3, Residual: 0.5, Count: 8, Work: 100})
 	s.Sample(1, NodeSample{T: 1.5, Iter: 2, Residual: 0.25, Count: 8, Work: 90})
 	s.Event(2, -1, "halt", "")
-	s.CountFault(1)
+	s.CountFault(1, 1)
 	s.MsgDelivered(runenv.Msg{Kind: 1, SendT: 0, RecvT: 0.5}, 2)
 	s.FinishRun(Outcome{Converged: true, Time: 2.5, TotalIters: 5})
 

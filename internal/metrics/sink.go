@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sort"
 	"sync"
 
 	"aiac/internal/detect"
@@ -30,7 +31,10 @@ type NodeSample struct {
 	MsgsSent uint64 `json:"msgs_sent"`
 	MsgsRecv uint64 `json:"msgs_recv"`
 	// Faults is the cumulative count of injected faults on this node's
-	// inbound links.
+	// inbound links whose injection time is <= T. The sink fills it at
+	// FinishRun from the recorded attribution times (counting by virtual
+	// time rather than by live counter reads keeps the value independent
+	// of how the runtime interleaved senders and this node's sampling).
 	Faults uint64 `json:"faults"`
 	// Work is the cumulative work in abstract units; Busy the cumulative
 	// compute time in seconds.
@@ -65,13 +69,26 @@ const (
 	DefaultEventCap = 4096
 )
 
+// eventStream is one emitter's bounded slice of the convergence/control
+// timeline: one per node, plus one for the detector (node -1). Splitting
+// the log per emitter makes the stored content independent of how emitters
+// interleave — each stream is appended by a single process in its own local
+// order — so the parallel virtual-time scheduler produces byte-identical
+// telemetry to the sequential one. Events() merges the streams into the
+// canonical (T, node) order.
+type eventStream struct {
+	events  []Event
+	dropped uint64
+}
+
 // Sink collects one run's telemetry. Configure the public knobs before the
 // run; engine.Run calls Start, the instrumentation hooks feed it during the
 // run, and FinishRun seals the manifest. A Sink is single-use.
 //
 // Concurrency: per-node samples are written only by the owning process;
-// counters, gauges and the histogram are atomic; the event log is
-// mutex-guarded. This makes every hook safe under both runtimes.
+// counters, gauges and the histogram are atomic; the event streams are
+// mutex-guarded and single-writer. This makes every hook safe under both
+// runtimes, including the parallel virtual-time scheduler.
 type Sink struct {
 	// Period is the minimum virtual-time spacing (seconds) between two
 	// accepted samples of the same node; 0 samples every iteration (until
@@ -82,8 +99,9 @@ type Sink struct {
 	// interval doubles, so arbitrarily long runs keep whole-run coverage
 	// in bounded memory.
 	Cap int
-	// EventCap bounds the event log (default DefaultEventCap); later
-	// events are counted but not stored.
+	// EventCap bounds each emitter's event stream (default
+	// DefaultEventCap); later events from that emitter are counted but not
+	// stored.
 	EventCap int
 
 	// Manifest is the run's configuration echo and outcome. Callers may
@@ -93,10 +111,14 @@ type Sink struct {
 
 	nodes  []nodeSeries
 	faults []Counter
+	// faultT[node] holds the injection times behind the faults counters;
+	// FinishRun resolves them into the samples' Faults fields.
+	fmu    sync.Mutex
+	faultT [][]float64
 
-	mu            sync.Mutex
-	events        []Event
-	eventsDropped uint64
+	// evs[node+1] is the emitter's stream (index 0 = detector, node -1).
+	mu  sync.Mutex
+	evs []eventStream
 
 	// Delivered and Control count messages entering mailboxes (data-plane
 	// vs convergence-detection kinds); QueueMax tracks the deepest mailbox
@@ -118,6 +140,12 @@ func (s *Sink) Start(p int) {
 	}
 	s.nodes = make([]nodeSeries, p)
 	s.faults = make([]Counter, p)
+	s.faultT = make([][]float64, p)
+	s.mu.Lock()
+	if len(s.evs) < p+1 {
+		s.evs = make([]eventStream, p+1)
+	}
+	s.mu.Unlock()
 }
 
 // Sample offers one observation for a node; the sink accepts it when the
@@ -179,26 +207,47 @@ func (ns *nodeSeries) thin() {
 }
 
 // Event appends to the convergence/control timeline (node -1 = detector).
+// Each node's events must be emitted by that node's own process so stream
+// order is the emitter's local order.
 func (s *Sink) Event(t float64, node int, name, detail string) {
 	if s == nil {
 		return
 	}
+	idx := node + 1
+	if idx < 0 {
+		idx = 0
+	}
+	ecap := s.EventCap
+	if ecap <= 0 {
+		ecap = DefaultEventCap
+	}
 	s.mu.Lock()
-	if len(s.events) >= s.EventCap {
-		s.eventsDropped++
+	if idx >= len(s.evs) {
+		grown := make([]eventStream, idx+1)
+		copy(grown, s.evs)
+		s.evs = grown
+	}
+	st := &s.evs[idx]
+	if len(st.events) >= ecap {
+		st.dropped++
 	} else {
-		s.events = append(s.events, Event{T: t, Node: node, Name: name, Detail: detail})
+		st.events = append(st.events, Event{T: t, Node: node, Name: name, Detail: detail})
 	}
 	s.mu.Unlock()
 }
 
 // CountFault records one injected fault on the given destination node's
-// inbound traffic.
-func (s *Sink) CountFault(node int) {
+// inbound traffic at injection time t. Several senders may target one node
+// concurrently, so the time list is mutex-guarded; FinishRun sorts it, which
+// makes the per-sample resolution independent of arrival interleaving.
+func (s *Sink) CountFault(node int, t float64) {
 	if s == nil || node < 0 || node >= len(s.faults) {
 		return
 	}
 	s.faults[node].Inc()
+	s.fmu.Lock()
+	s.faultT[node] = append(s.faultT[node], t)
+	s.fmu.Unlock()
 }
 
 // FaultCount returns the cumulative inbound-fault count of a node.
@@ -225,22 +274,66 @@ func (s *Sink) MsgDelivered(m runenv.Msg, depth int) {
 	s.Latency.Observe(m.RecvT - m.SendT)
 }
 
-// FinishRun seals the run's outcome into the manifest.
+// FinishRun seals the run's outcome into the manifest and resolves every
+// stored sample's Faults field: the count of this node's inbound faults
+// injected at or before the sample's time.
 func (s *Sink) FinishRun(out Outcome) {
 	if s == nil {
 		return
 	}
 	s.Manifest.Outcome = &out
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	for r := range s.nodes {
+		times := s.faultT[r]
+		sort.Float64s(times)
+		row := s.nodes[r].samples
+		idx := 0
+		for i := range row {
+			for idx < len(times) && times[idx] <= row[i].T {
+				idx++
+			}
+			row[i].Faults = uint64(idx)
+		}
+	}
 }
 
-// Events returns a copy of the stored timeline and the overflow count.
+// Events returns the stored timeline in canonical order — ascending time,
+// ties broken by emitter (detector first, then node rank), each emitter's
+// events kept in emission order — plus the total overflow count. The
+// canonical order depends only on each stream's content, never on how the
+// emitters' processes interleaved, so identical runs export identical
+// timelines under the sequential and parallel virtual-time schedulers alike.
 func (s *Sink) Events() ([]Event, uint64) {
 	if s == nil {
 		return nil, 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Event(nil), s.events...), s.eventsDropped
+	total, dropped := 0, uint64(0)
+	for i := range s.evs {
+		total += len(s.evs[i].events)
+		dropped += s.evs[i].dropped
+	}
+	if total == 0 {
+		return nil, dropped
+	}
+	out := make([]Event, 0, total)
+	heads := make([]int, len(s.evs))
+	for len(out) < total {
+		best := -1
+		for i := range s.evs {
+			if heads[i] >= len(s.evs[i].events) {
+				continue
+			}
+			if best < 0 || s.evs[i].events[heads[i]].T < s.evs[best].events[heads[best]].T {
+				best = i
+			}
+		}
+		out = append(out, s.evs[best].events[heads[best]])
+		heads[best]++
+	}
+	return out, dropped
 }
 
 // Samples returns one node's stored samples (the live slice; callers must

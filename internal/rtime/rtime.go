@@ -36,7 +36,6 @@ type world struct {
 
 	mu      sync.Mutex
 	stopped bool
-	seq     uint64
 	pairs   map[[2]int]*pairState
 	delWG   sync.WaitGroup
 }
@@ -58,10 +57,20 @@ type wproc struct {
 	id  int
 	w   *world
 	rng *rand.Rand
+	// seq is the sender-local event counter behind Msg.Seq; only the
+	// process's own goroutine touches it (matching the vtime runtime's
+	// per-process counters, so message identity never encodes how the
+	// scheduler interleaved other processes).
+	seq uint64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	mailbox []runenv.Msg
+}
+
+func (p *wproc) nextSeq() uint64 {
+	p.seq++
+	return p.seq
 }
 
 // Run implements runenv.Runner.
@@ -195,13 +204,9 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 	for _, dd := range f.DupDelays {
 		dm := runenv.Msg{
 			From: e.p.id, To: to, Kind: kind, Payload: payload, Bytes: bytes,
-			SendT: now,
+			SendT: now, Seq: e.p.nextSeq(),
 		}
-		w.mu.Lock()
-		w.seq++
-		dm.Seq = w.seq
 		w.delWG.Add(1)
-		w.mu.Unlock()
 		w.deliverLoose(dm, w.toWall(delay+dd))
 	}
 	if f.Drop {
@@ -211,21 +216,16 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 	if f.Reorder {
 		m := runenv.Msg{
 			From: e.p.id, To: to, Kind: kind, Payload: payload, Bytes: bytes,
-			SendT: now,
+			SendT: now, Seq: e.p.nextSeq(),
 		}
-		w.mu.Lock()
-		w.seq++
-		m.Seq = w.seq
 		w.delWG.Add(1)
-		w.mu.Unlock()
 		w.deliverLoose(m, w.toWall(arrival-now))
 		return arrival
 	}
 
 	key := [2]int{e.p.id, to}
+	seq := e.p.nextSeq()
 	w.mu.Lock()
-	w.seq++
-	seq := w.seq
 	ps := w.pairs[key]
 	if ps == nil {
 		ps = &pairState{}

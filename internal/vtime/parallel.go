@@ -1,0 +1,269 @@
+// Conservative-lookahead parallel scheduling (Chandy–Misra–Bryant style).
+//
+// The world is partitioned into process groups (runenv.Config.Groups) such
+// that every link between processes of different groups has a modeled delay
+// of at least runenv.Config.MinDelay. Execution proceeds in windows: with T0
+// the earliest pending event time anywhere, every event strictly below the
+// horizon T0 + MinDelay can be processed without waiting for other groups,
+// because any message a group sends during the window is created at a clock
+// >= T0 and arrives at clock + delay >= T0 + MinDelay (correctly-rounded
+// float addition is monotone, so the bound holds bit-exactly, not just
+// approximately). Groups therefore run concurrently inside the window, each
+// draining its private event heap in (t, src, cnt) key order; cross-group
+// sends are buffered in per-group outboxes and routed at the window commit.
+//
+// Determinism argument: restricted to one group, the windowed execution
+// pops exactly the events the sequential scheduler would pop, in the same
+// key order, because no cross-group event can land inside the window. Side
+// effects that leave the group (Observer callbacks, trace entries) are
+// buffered in processing order and merged across groups at commit by
+// smallest head key, which reconstructs the sequential scheduler's global
+// processing order exactly (each group's next buffered record is the
+// minimum-key created-but-unprocessed event of that group, so the smallest
+// head is always the event the sequential heap would pop next). The result
+// — end time, per-process clocks, message contents and Seq numbers,
+// telemetry, traces — is bit-identical to a sequential run.
+//
+// The one intentional divergence: Env.Stop() from one process becomes
+// visible to other processes at the next window boundary rather than
+// instantly (the engines never call Stop mid-run; see DESIGN.md).
+package vtime
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// parState holds the parallel scheduler's coordination state; embedded in
+// Scheduler so the sequential path pays nothing for it.
+type parState struct {
+	// pendingStop latches Env.Stop() calls made inside a window; the commit
+	// turns it into the world-visible stopped flag.
+	pendingStop atomic.Bool
+	// horizon is the current window's exclusive upper bound on event times.
+	horizon float64
+	// kick marks the start-up window (processes kicked at t=0, no events).
+	kick bool
+	// workCh feeds active groups to the worker pool; wg is the per-window
+	// barrier.
+	workCh chan *group
+	wg     sync.WaitGroup
+}
+
+// runParallel executes the world with the windowed scheduler. Called by Run
+// after setup when cfg.SimWorkers > 1 and the group partition allows it.
+func (s *Scheduler) runParallel() float64 {
+	workers := s.cfg.SimWorkers
+	if workers > len(s.groups) {
+		workers = len(s.groups)
+	}
+	s.par.workCh = make(chan *group)
+	var pool sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		pool.Add(1)
+		go func() {
+			defer pool.Done()
+			for g := range s.par.workCh {
+				s.runWindow(g)
+				s.par.wg.Done()
+			}
+		}()
+	}
+	defer func() {
+		close(s.par.workCh)
+		pool.Wait()
+	}()
+
+	// Start-up window: kick every process at t=0. Kickoff sends happen at
+	// clock 0, so cross-group arrivals are >= MinDelay.
+	s.par.kick = true
+	s.par.horizon = s.cfg.MinDelay
+	s.dispatch(s.groups)
+	s.commit()
+	s.par.kick = false
+
+	active := make([]*group, 0, len(s.groups))
+	for {
+		if s.allFinished() {
+			break
+		}
+		t0 := math.Inf(1)
+		for _, g := range s.groups {
+			if g.events.Len() > 0 && g.events[0].t < t0 {
+				t0 = g.events[0].t
+			}
+		}
+		if math.IsInf(t0, 1) {
+			s.Deadlocked = s.anyWaiting()
+			s.stopWorld()
+			break
+		}
+		if s.cfg.MaxTime > 0 && t0 > s.cfg.MaxTime {
+			s.TimedOut = true
+			s.stopWorld()
+			break
+		}
+		s.par.horizon = t0 + s.cfg.MinDelay
+		if s.par.horizon <= t0 {
+			// MinDelay vanished in rounding against a huge clock: fall back
+			// to processing the single globally smallest event.
+			s.execSmallest()
+			s.commit()
+			continue
+		}
+		active = active[:0]
+		for _, g := range s.groups {
+			if g.events.Len() == 0 {
+				continue
+			}
+			t := g.events[0].t
+			if t < s.par.horizon && !(s.cfg.MaxTime > 0 && t > s.cfg.MaxTime) {
+				active = append(active, g)
+			}
+		}
+		s.dispatch(active)
+		s.commit()
+	}
+	return s.endTime()
+}
+
+// dispatch runs the given groups' windows, inline when only one group is
+// active (the common case on sparse platforms — no handoff cost), else on
+// the worker pool.
+func (s *Scheduler) dispatch(groups []*group) {
+	if len(groups) == 1 {
+		s.runWindow(groups[0])
+		return
+	}
+	s.par.wg.Add(len(groups))
+	for _, g := range groups {
+		s.par.workCh <- g
+	}
+	s.par.wg.Wait()
+}
+
+// runWindow drains g's events strictly below the horizon (and not beyond
+// MaxTime), or performs g's share of the start-up kick.
+func (s *Scheduler) runWindow(g *group) {
+	if s.par.kick {
+		s.kickoff(g)
+		return
+	}
+	for g.events.Len() > 0 {
+		t := g.events[0].t
+		if t >= s.par.horizon || (s.cfg.MaxTime > 0 && t > s.cfg.MaxTime) {
+			break
+		}
+		ev := g.events.popEv()
+		s.exec(g, ev)
+	}
+}
+
+// execSmallest processes exactly one event — the globally smallest by key —
+// single-threaded. Degenerate-horizon fallback only.
+func (s *Scheduler) execSmallest() {
+	var best *group
+	for _, g := range s.groups {
+		if g.events.Len() == 0 {
+			continue
+		}
+		if best == nil || keyLess(g.events[0].key(), best.events[0].key()) {
+			best = g
+		}
+	}
+	if best == nil {
+		return
+	}
+	ev := best.events.popEv()
+	s.exec(best, ev)
+}
+
+// commit is the window barrier's sequential tail: route buffered
+// cross-group events into their destination heaps, replay buffered side
+// effects in exact sequential order, and surface pending stop requests.
+func (s *Scheduler) commit() {
+	for _, g := range s.groups {
+		for i := range g.outbox {
+			ev := &g.outbox[i]
+			if ev.t < s.par.horizon {
+				// The safe-horizon contract was violated: the delay model
+				// returned less than MinDelay on a cross-group link.
+				panic(fmt.Sprintf(
+					"vtime: cross-group event from %d to %d at t=%g inside the window horizon %g; "+
+						"Config.MinDelay overstates the minimum cross-group delay",
+					ev.src, ev.proc, ev.t, s.par.horizon))
+			}
+			s.groups[s.groupOf[ev.proc]].events.pushEv(*ev)
+			*ev = event{} // drop payload references held by the buffer
+		}
+		g.outbox = g.outbox[:0]
+	}
+	if s.cfg.Observer != nil {
+		s.mergeObservations()
+	}
+	if s.cfg.Trace != nil {
+		s.mergeTraces()
+	}
+	if s.par.pendingStop.Load() {
+		s.stopped = true
+	}
+}
+
+// mergeObservations replays the window's buffered Observer callbacks across
+// groups by smallest head key — the sequential delivery order.
+func (s *Scheduler) mergeObservations() {
+	obs := s.cfg.Observer
+	for {
+		var best *group
+		for _, g := range s.groups {
+			if g.obsHead >= len(g.obsBuf) {
+				continue
+			}
+			if best == nil || keyLess(g.obsBuf[g.obsHead].key, best.obsBuf[best.obsHead].key) {
+				best = g
+			}
+		}
+		if best == nil {
+			break
+		}
+		r := &best.obsBuf[best.obsHead]
+		best.obsHead++
+		obs.MsgDelivered(r.msg, r.depth)
+	}
+	for _, g := range s.groups {
+		for i := range g.obsBuf {
+			g.obsBuf[i] = obsRecord{}
+		}
+		g.obsBuf = g.obsBuf[:0]
+		g.obsHead = 0
+	}
+}
+
+// mergeTraces replays the window's buffered Env.Trace calls across groups
+// by smallest slice key, preserving each group's emission order within a
+// slice — the sequential trace order.
+func (s *Scheduler) mergeTraces() {
+	log := s.cfg.Trace
+	for {
+		var best *group
+		for _, g := range s.groups {
+			if g.traceHead >= len(g.traceBuf) {
+				continue
+			}
+			if best == nil || keyLess(g.traceBuf[g.traceHead].key, best.traceBuf[best.traceHead].key) {
+				best = g
+			}
+		}
+		if best == nil {
+			break
+		}
+		log.Add(best.traceBuf[best.traceHead].ev)
+		best.traceHead++
+	}
+	for _, g := range s.groups {
+		g.traceBuf = g.traceBuf[:0]
+		g.traceHead = 0
+	}
+}

@@ -1,0 +1,351 @@
+package vtime
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"aiac/internal/runenv"
+	"aiac/internal/trace"
+)
+
+// The parallel scheduler's contract is bit-identity with the sequential
+// scheduler. The tests below run the same world twice — sequential and
+// windowed-parallel — and require every observable to match exactly: end
+// time, per-process clocks, received message streams (contents, Seq, send
+// and receive times), Observer callback sequences, trace logs, and the
+// Deadlocked/TimedOut flags.
+
+// worldResult captures everything observable about one run.
+type worldResult struct {
+	end        float64
+	clocks     []float64
+	recvd      [][]runenv.Msg
+	obs        []obsCall
+	traces     []trace.Event
+	deadlocked bool
+	timedOut   bool
+}
+
+type obsCall struct {
+	m     runenv.Msg
+	depth int
+}
+
+// obsRecorder records MsgDelivered calls. No locking: under both schedulers
+// the callbacks are serialized (sequentially or at window commits).
+type obsRecorder struct{ calls []obsCall }
+
+func (o *obsRecorder) MsgDelivered(m runenv.Msg, depth int) {
+	o.calls = append(o.calls, obsCall{m, depth})
+}
+
+// scenario is a randomized world: a latency matrix whose cross-group
+// entries are bounded below by minDelay, an optional deterministic fault
+// hook, and message-storm bodies driven by the per-process RNGs.
+type scenario struct {
+	n        int
+	groups   []int
+	minDelay float64
+	lat      [][]float64
+	faults   bool
+	maxTime  float64
+	rounds   int
+	seed     int64
+}
+
+func mkScenario(seed int64) scenario {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(6)
+	ngroups := 2 + rng.Intn(3)
+	groups := make([]int, n)
+	for i := range groups {
+		groups[i] = rng.Intn(ngroups)
+	}
+	const minDelay = 2e-3
+	lat := make([][]float64, n)
+	for i := range lat {
+		lat[i] = make([]float64, n)
+		for j := range lat[i] {
+			if groups[i] == groups[j] {
+				lat[i][j] = 1e-5 + rng.Float64()*1e-3 // may be far below minDelay
+			} else {
+				lat[i][j] = minDelay * (1 + 4*rng.Float64())
+			}
+		}
+	}
+	sc := scenario{
+		n: n, groups: groups, minDelay: minDelay, lat: lat,
+		faults: rng.Intn(2) == 0,
+		rounds: 25 + rng.Intn(25),
+		seed:   seed,
+	}
+	if rng.Intn(3) == 0 {
+		sc.maxTime = 0.02 + rng.Float64()*0.05 // likely to trip TimedOut
+	}
+	return sc
+}
+
+// pureFaults is a stateless deterministic fault hook: decisions are a hash
+// of the send's own arguments, so they are identical under any scheduler.
+func pureFaults(from, to, kind, bytes int, now, delay float64) runenv.MsgFault {
+	h := uint64(from)*0x9e3779b97f4a7c15 ^ uint64(to)*0xbf58476d1ce4e5b9 ^
+		uint64(kind)*0x94d049bb133111eb ^ uint64(bytes+1)*0x2545f4914f6cdd1d
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 27
+	var f runenv.MsgFault
+	switch h % 16 {
+	case 0:
+		f.Drop = true
+	case 1:
+		f.ExtraDelay = float64(h%1000) * 1e-5
+	case 2:
+		f.Reorder = true
+		f.ExtraDelay = float64(h%100) * 1e-4
+	case 3:
+		f.DupDelays = []float64{float64(h%500) * 1e-5}
+	}
+	return f
+}
+
+func (sc scenario) run(t *testing.T, workers int) worldResult {
+	t.Helper()
+	log := &trace.Log{}
+	rec := &obsRecorder{}
+	cfg := runenv.Config{
+		Seed:     sc.seed,
+		Trace:    log,
+		Observer: rec,
+		MaxTime:  sc.maxTime,
+		Delay: func(from, to, bytes int, _ float64) float64 {
+			return sc.lat[from][to] + float64(bytes)*1e-9
+		},
+		MinDelay:     sc.minDelay,
+		Groups:       sc.groups,
+		SimWorkers:   workers,
+		EventCapHint: 64,
+	}
+	if sc.faults {
+		cfg.FaultHook = pureFaults
+	}
+	recvd := make([][]runenv.Msg, sc.n)
+	bodies := make([]runenv.Body, sc.n)
+	for i := 0; i < sc.n; i++ {
+		bodies[i] = func(env runenv.Env) {
+			r := env.Rand()
+			me := env.Rank()
+			for k := 0; k < sc.rounds && !env.Stopped(); k++ {
+				env.Work(r.Float64() * 2e-3)
+				to := r.Intn(sc.n)
+				env.Send(to, k, me*1000+k, 8+r.Intn(64))
+				env.Trace(trace.Event{T0: env.Now(), T1: env.Now(), Node: me, To: to, Kind: trace.Mark, Iter: k})
+				for {
+					m, ok := env.Recv()
+					if !ok {
+						break
+					}
+					recvd[me] = append(recvd[me], m)
+				}
+			}
+			env.Sleep(1) // let in-flight messages land
+			for {
+				m, ok := env.Recv()
+				if !ok {
+					break
+				}
+				recvd[me] = append(recvd[me], m)
+			}
+		}
+	}
+	s := New(cfg)
+	end := s.Run(bodies)
+	clocks := make([]float64, sc.n)
+	for i, p := range s.procs {
+		clocks[i] = p.clock
+	}
+	return worldResult{
+		end: end, clocks: clocks, recvd: recvd, obs: rec.calls,
+		traces: log.Events(), deadlocked: s.Deadlocked, timedOut: s.TimedOut,
+	}
+}
+
+func requireIdentical(t *testing.T, seq, par worldResult, label string) {
+	t.Helper()
+	if seq.end != par.end {
+		t.Fatalf("%s: end time %g (seq) vs %g (par)", label, seq.end, par.end)
+	}
+	if !reflect.DeepEqual(seq.clocks, par.clocks) {
+		t.Fatalf("%s: process clocks diverge:\nseq %v\npar %v", label, seq.clocks, par.clocks)
+	}
+	if seq.deadlocked != par.deadlocked || seq.timedOut != par.timedOut {
+		t.Fatalf("%s: outcome flags diverge: seq dead=%v timeout=%v, par dead=%v timeout=%v",
+			label, seq.deadlocked, seq.timedOut, par.deadlocked, par.timedOut)
+	}
+	if !reflect.DeepEqual(seq.recvd, par.recvd) {
+		t.Fatalf("%s: received message streams diverge", label)
+	}
+	if !reflect.DeepEqual(seq.obs, par.obs) {
+		for i := range seq.obs {
+			if i >= len(par.obs) || !reflect.DeepEqual(seq.obs[i], par.obs[i]) {
+				t.Fatalf("%s: observer call %d diverges:\nseq %+v\npar %+v (lens %d vs %d)",
+					label, i, seq.obs[i], par.obs[min(i, len(par.obs)-1)], len(seq.obs), len(par.obs))
+			}
+		}
+		t.Fatalf("%s: observer sequences diverge (lens %d vs %d)", label, len(seq.obs), len(par.obs))
+	}
+	if !reflect.DeepEqual(seq.traces, par.traces) {
+		t.Fatalf("%s: trace logs diverge (lens %d vs %d)", label, len(seq.traces), len(par.traces))
+	}
+}
+
+// TestParallelEquivalenceRandomWorlds fuzzes random topologies, groupings,
+// delay models, fault hooks and MaxTime limits, requiring bit-identity
+// between the sequential scheduler and the parallel one at several worker
+// counts.
+func TestParallelEquivalenceRandomWorlds(t *testing.T) {
+	f := func(seed int64) bool {
+		sc := mkScenario(seed)
+		seq := sc.run(t, 1)
+		for _, w := range []int{2, 4, 8} {
+			requireIdentical(t, seq, sc.run(t, w), "workers="+string(rune('0'+w)))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelEquivalencePingPong exercises RecvWait wakeups across group
+// boundaries: pairs of processes in different groups ping-pong, and a
+// same-group pair chatters over a link far below MinDelay.
+func TestParallelEquivalencePingPong(t *testing.T) {
+	const pairs = 3
+	n := 2 * pairs
+	// pairs (0,1) and (2,3) ping-pong across group boundaries; pair (4,5)
+	// chatters inside group 2 over a link far below MinDelay.
+	groups := []int{0, 1, 1, 2, 2, 2}
+	lat := func(from, to int) float64 {
+		if groups[from] == groups[to] {
+			return 1e-6
+		}
+		return 3e-3
+	}
+	run := func(workers int) worldResult {
+		log := &trace.Log{}
+		rec := &obsRecorder{}
+		recvd := make([][]runenv.Msg, n)
+		cfg := runenv.Config{
+			Seed:  11,
+			Trace: log, Observer: rec,
+			Delay:      func(from, to, bytes int, _ float64) float64 { return lat(from, to) },
+			MinDelay:   3e-3,
+			Groups:     groups,
+			SimWorkers: workers,
+		}
+		bodies := make([]runenv.Body, n)
+		for i := 0; i < n; i++ {
+			bodies[i] = func(env runenv.Env) {
+				me := env.Rank()
+				peer := me ^ 1
+				for k := 0; k < 30; k++ {
+					if me%2 == 0 {
+						env.Send(peer, k, k, 16)
+						m, ok := env.RecvWait()
+						if !ok {
+							return
+						}
+						recvd[me] = append(recvd[me], m)
+					} else {
+						m, ok := env.RecvWait()
+						if !ok {
+							return
+						}
+						recvd[me] = append(recvd[me], m)
+						env.Work(1e-4)
+						env.Send(peer, k, k, 16)
+					}
+				}
+			}
+		}
+		s := New(cfg)
+		end := s.Run(bodies)
+		clocks := make([]float64, n)
+		for i, p := range s.procs {
+			clocks[i] = p.clock
+		}
+		return worldResult{end: end, clocks: clocks, recvd: recvd, obs: rec.calls,
+			traces: log.Events(), deadlocked: s.Deadlocked, timedOut: s.TimedOut}
+	}
+	seq := run(1)
+	for _, w := range []int{2, 3, 8} {
+		requireIdentical(t, seq, run(w), "pingpong")
+	}
+}
+
+// TestParallelDeadlockParity: a world that deadlocks must deadlock
+// identically under the parallel scheduler.
+func TestParallelDeadlockParity(t *testing.T) {
+	run := func(workers int) (bool, bool) {
+		cfg := runenv.Config{
+			Delay:      func(_, _, _ int, _ float64) float64 { return 1e-3 },
+			MinDelay:   1e-3,
+			SimWorkers: workers,
+		}
+		s := New(cfg)
+		s.Run([]runenv.Body{
+			func(env runenv.Env) { env.Send(1, 0, nil, 1); env.RecvWait() },
+			func(env runenv.Env) { env.RecvWait(); env.RecvWait() },
+		})
+		return s.Deadlocked, s.TimedOut
+	}
+	d1, t1 := run(1)
+	d4, t4 := run(4)
+	if d1 != d4 || t1 != t4 {
+		t.Fatalf("deadlock parity: seq (%v,%v) vs par (%v,%v)", d1, t1, d4, t4)
+	}
+	if !d1 {
+		t.Fatal("expected a deadlock")
+	}
+}
+
+// TestParallelHorizonViolationPanics: a delay model that undercuts
+// MinDelay on a cross-group link must be caught by the commit check, not
+// silently produce wrong results.
+func TestParallelHorizonViolationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic from the safe-horizon contract check")
+		}
+	}()
+	cfg := runenv.Config{
+		Delay:      func(_, _, _ int, _ float64) float64 { return 1e-6 }, // < MinDelay: a lie
+		MinDelay:   1e-2,
+		SimWorkers: 2,
+	}
+	New(cfg).Run([]runenv.Body{
+		func(env runenv.Env) {
+			env.Sleep(1) // move past the kickoff window, whose sends are legal
+			env.Send(1, 0, nil, 1)
+			env.Sleep(1)
+		},
+		func(env runenv.Env) { env.Sleep(2.5) },
+	})
+}
+
+// TestParallelFallsBackWhenIneligible: without MinDelay or groups the
+// scheduler must silently run sequentially and still be correct.
+func TestParallelFallsBackWhenIneligible(t *testing.T) {
+	cfg := runenv.Config{SimWorkers: 8} // no MinDelay: sequential
+	var now float64
+	s := New(cfg)
+	s.Run([]runenv.Body{func(env runenv.Env) { env.Sleep(2); now = env.Now() }})
+	if s.parallel {
+		t.Fatal("scheduler went parallel without a lookahead")
+	}
+	if now != 2 {
+		t.Fatalf("clock = %g, want 2", now)
+	}
+}
