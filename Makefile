@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-diff check test-faults fmt-check report
+.PHONY: build test vet race bench bench-json bench-diff check test-faults fmt-check report critpath cover
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,21 @@ report:
 	$(GO) run ./cmd/aiacreport $(REPORT_DIR)/lb-on.jsonl
 	$(GO) run ./cmd/aiacreport -diff $(REPORT_DIR)/lb-off.jsonl $(REPORT_DIR)/lb-on.jsonl
 
+# Critical-path demo: trace the Figure-5-style LB pair, render each run's
+# convergence critical path, and diff where the time went (see README
+# "Observability" — on-path vs off-path LB transfers).
+critpath:
+	mkdir -p $(REPORT_DIR)
+	$(GO) run ./cmd/aiacrun -mode aiac -p 4 -n 32 -cluster heterogeneous \
+		-trace-csv $(REPORT_DIR)/lb-off.csv > /dev/null
+	$(GO) run ./cmd/aiacrun -mode aiac -p 4 -n 32 -cluster heterogeneous \
+		-lb -trace-csv $(REPORT_DIR)/lb-on.csv > /dev/null
+	@echo "=== without load balancing ==="
+	$(GO) run ./cmd/aiacreport -critical-path $(REPORT_DIR)/lb-off.csv
+	@echo
+	@echo "=== with load balancing ==="
+	$(GO) run ./cmd/aiacreport -critical-path $(REPORT_DIR)/lb-on.csv
+
 # The fault-injection acceptance grid (seed × rate × mode invariant harness,
 # handshake idempotency, golden-seed regression) at test scale; see
 # EXPERIMENTS.md "Fault model".
@@ -55,4 +70,14 @@ test-faults:
 	$(GO) test ./internal/loadbalance/ -run 'FuzzLBHandshake'
 	$(GO) test ./internal/engine/ -run 'TestFault|TestZeroRatePlan|TestSyncModeStalls|TestGoldenSeed'
 
-check: build fmt-check vet test race
+# Coverage gate: the trace layer (causal schema, Chrome export, critical-path
+# analysis) must stay >= 80% covered.
+COVER_MIN ?= 80
+cover:
+	$(GO) test -coverprofile=/tmp/aiac-cover.out ./internal/trace/
+	@pct=$$($(GO) tool cover -func=/tmp/aiac-cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "internal/trace coverage: $$pct%"; \
+	awk -v p="$$pct" -v min="$(COVER_MIN)" 'BEGIN {exit !(p+0 < min+0)}' && \
+		{ echo "FAIL: internal/trace coverage $$pct% < $(COVER_MIN)%"; exit 1; } || true
+
+check: build fmt-check vet test test-faults race

@@ -40,6 +40,8 @@
 package aiac
 
 import (
+	"io"
+
 	"aiac/internal/brusselator"
 	"aiac/internal/engine"
 	"aiac/internal/fault"
@@ -50,8 +52,10 @@ import (
 	"aiac/internal/loadbalance"
 	"aiac/internal/metrics"
 	"aiac/internal/nldiffusion"
+	"aiac/internal/obs"
 	"aiac/internal/poisson"
 	"aiac/internal/poisson2d"
+	"aiac/internal/report"
 	"aiac/internal/rtime"
 	"aiac/internal/runenv"
 	"aiac/internal/sparse"
@@ -322,3 +326,40 @@ type MetricsRun = metrics.Run
 
 // ReadMetricsRun parses a telemetry JSONL file.
 func ReadMetricsRun(path string) (*MetricsRun, error) { return metrics.ReadRunFile(path) }
+
+// TraceEvent is one causally-tagged execution event of a TraceLog.
+type TraceEvent = trace.Event
+
+// WriteTraceCSV exports a trace in the stable CSV schema (11 columns with
+// the causal fields; see internal/trace.WriteCSV).
+func WriteTraceCSV(l *TraceLog, w io.Writer) error { return l.WriteCSV(w) }
+
+// ReadTraceCSV parses a trace CSV export (both the 7-column pre-causal and
+// the current 11-column schema).
+func ReadTraceCSV(r io.Reader) ([]TraceEvent, error) { return trace.ReadCSV(r) }
+
+// WriteChromeTrace exports a trace in the Chrome trace-event JSON format,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// Messages become flow arrows between node tracks.
+func WriteChromeTrace(l *TraceLog, w io.Writer) error { return trace.WriteChrome(l, w) }
+
+// CriticalPath is a run's convergence critical path: the happens-before
+// chain of compute spans, message transits and LB transfers that ends at the
+// halt decision, with per-kind and per-node time attribution.
+type CriticalPath = trace.CriticalPath
+
+// AnalyzeCriticalPath extracts the critical path from a trace's events.
+func AnalyzeCriticalPath(events []TraceEvent) *CriticalPath { return trace.Analyze(events) }
+
+// RenderCriticalPath formats a critical-path analysis as the aiacreport
+// "critical path" section: summary, per-node blame table, top segments and
+// the on-path/off-path LB transfer classification.
+func RenderCriticalPath(cp *CriticalPath, topN int) string { return report.CriticalPath(cp, topN) }
+
+// ObsServer is the live observability HTTP server: /metrics (Prometheus
+// text), /healthz (run phase + current max residual) and /debug/pprof/*.
+type ObsServer = obs.Server
+
+// ServeObs starts an ObsServer for the sink on addr (e.g. ":8080"); close it
+// with Close when the run ends.
+func ServeObs(addr string, sink *MetricsSink) (*ObsServer, error) { return obs.Serve(addr, sink) }

@@ -8,6 +8,7 @@
 //	aiacrun -mode aiac -p 8 -lb -metrics run.jsonl && aiacreport run.jsonl
 //	aiacreport -diff lb-off.jsonl lb-on.jsonl
 //	aiacreport -width 100 run.jsonl
+//	aiacrun -mode aiac -p 8 -lb -trace-csv run.csv && aiacreport -critical-path run.csv
 package main
 
 import (
@@ -17,22 +18,39 @@ import (
 
 	"aiac/internal/metrics"
 	"aiac/internal/report"
+	"aiac/internal/trace"
 )
 
 func main() {
 	var (
-		diff   = flag.String("diff", "", "compare the given run (A) against the positional run (B)")
-		width  = flag.Int("width", 64, "plot width in characters")
-		height = flag.Int("height", 16, "plot height in rows")
+		diff     = flag.String("diff", "", "compare the given run (A) against the positional run (B)")
+		width    = flag.Int("width", 64, "plot width in characters")
+		height   = flag.Int("height", 16, "plot height in rows")
+		critical = flag.Bool("critical-path", false, "treat the positional file as a trace CSV (aiacrun -trace-csv) and render its convergence critical path")
+		topN     = flag.Int("top", 10, "with -critical-path: how many longest path segments to list")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aiacreport [-diff a.jsonl] [-width n] [-height n] run.jsonl\n")
+		fmt.Fprintf(os.Stderr, "usage: aiacreport [-diff a.jsonl] [-width n] [-height n] run.jsonl\n"+
+			"       aiacreport -critical-path [-top n] trace.csv\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *critical {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		evs, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(report.CriticalPath(trace.Analyze(evs), *topN))
+		return
 	}
 	run, err := metrics.ReadRunFile(flag.Arg(0))
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"aiac"
 )
@@ -44,7 +45,13 @@ func main() {
 		real        = flag.Bool("real", false, "run on the real goroutine runtime instead of virtual time")
 		speedup     = flag.Float64("speedup", 50, "real runtime: model seconds per wall second")
 		showTrace   = flag.Bool("trace", false, "render an execution Gantt chart (see -trace-iters)")
-		traceIters  = flag.Int("trace-iters", 12, "iterations covered by -trace (0 = all)")
+		traceIters  = flag.Int("trace-iters", 12, "iterations covered by -trace (0 = all; trace exports default to all)")
+		traceCSV    = flag.String("trace-csv", "", "write the causally-tagged execution trace to this CSV file")
+		traceChrome = flag.String("trace-chrome", "", "write the trace as Chrome trace-event JSON (load in Perfetto or chrome://tracing)")
+		critPath    = flag.Bool("critical-path", false, "print the convergence critical-path report (compute/idle/transit/LB attribution)")
+		traceCap    = flag.Int("trace-cap", 0, "bound the in-memory trace to about this many events by self-thinning (0 = unbounded)")
+		httpAddr    = flag.String("http", "", "serve the live observability plane (/metrics, /healthz, /debug/pprof/) on this address, e.g. :8080")
+		httpLinger  = flag.Float64("http-linger", 0, "keep the -http server up this many wall seconds after the solve finishes")
 		metricsOut  = flag.String("metrics", "", "write run telemetry (manifest + per-node series) to this JSONL file; render it with aiacreport")
 		metricsPer  = flag.Float64("metrics-period", 0, "minimum virtual seconds between telemetry samples of a node (0 = every iteration)")
 		simWorkers  = flag.Int("sim-workers", 0, "virtual-time scheduler worker threads (0 or 1 = sequential; results are bit-identical at any setting)")
@@ -152,14 +159,29 @@ func main() {
 	}
 
 	var log *aiac.TraceLog
-	if *showTrace {
+	if *showTrace || *traceCSV != "" || *traceChrome != "" || *critPath {
 		log = &aiac.TraceLog{}
+		if *traceCap > 0 {
+			log.SetCap(*traceCap)
+		}
 		cfg.Trace = log
-		cfg.TraceIters = *traceIters
+		// The Gantt chart defaults to the first few iterations, but the trace
+		// exports and the critical-path analysis need the whole run, so the
+		// -trace-iters default only applies when just -trace asked for the log.
+		iters := *traceIters
+		if !*showTrace {
+			iters = 0
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "trace-iters" {
+					iters = *traceIters
+				}
+			})
+		}
+		cfg.TraceIters = iters
 	}
 
 	var sink *aiac.MetricsSink
-	if *metricsOut != "" {
+	if *metricsOut != "" || *httpAddr != "" {
 		sink = &aiac.MetricsSink{Period: *metricsPer}
 		sink.Manifest.Name = "aiacrun"
 		sink.Manifest.Problem = fmt.Sprintf("%s-%d", strings.ToLower(*problemName), *n)
@@ -169,6 +191,16 @@ func main() {
 		}
 		sink.Manifest.FillHost()
 		cfg.Metrics = sink
+	}
+
+	var obsSrv *aiac.ObsServer
+	if *httpAddr != "" {
+		srv, err := aiac.ServeObs(*httpAddr, sink)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		obsSrv = srv
+		fmt.Fprintf(os.Stderr, "aiacrun: observability plane on http://%s (/metrics, /healthz, /debug/pprof/)\n", srv.Addr())
 	}
 
 	var cpuFile *os.File
@@ -195,6 +227,16 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	if obsSrv != nil {
+		if *httpLinger > 0 {
+			fmt.Fprintf(os.Stderr, "aiacrun: solve done; observability plane lingers %.3g s\n", *httpLinger)
+			time.Sleep(time.Duration(*httpLinger * float64(time.Second)))
+		}
+		if cerr := obsSrv.Close(2 * time.Second); cerr != nil {
+			fmt.Fprintf(os.Stderr, "aiacrun: observability shutdown: %v\n", cerr)
+		}
+	}
+
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -209,7 +251,7 @@ func main() {
 		}
 	}
 
-	if sink != nil {
+	if sink != nil && *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
 			fatalf("%v", err)
@@ -223,9 +265,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aiacrun: telemetry written to %s\n", *metricsOut)
 	}
 
+	if *traceCSV != "" {
+		writeFileWith(*traceCSV, func(f *os.File) error { return aiac.WriteTraceCSV(log, f) })
+		fmt.Fprintf(os.Stderr, "aiacrun: trace CSV written to %s\n", *traceCSV)
+	}
+	if *traceChrome != "" {
+		writeFileWith(*traceChrome, func(f *os.File) error { return aiac.WriteChromeTrace(log, f) })
+		fmt.Fprintf(os.Stderr, "aiacrun: Chrome trace written to %s (open in https://ui.perfetto.dev)\n", *traceChrome)
+	}
+
 	if *jsonOut {
 		if err := res.WriteJSON(os.Stdout); err != nil {
 			fatalf("%v", err)
+		}
+		if *critPath {
+			fmt.Fprint(os.Stderr, aiac.RenderCriticalPath(aiac.AnalyzeCriticalPath(log.Events()), 10))
 		}
 		return
 	}
@@ -247,9 +301,28 @@ func main() {
 		fmt.Printf("  faults injected  %d dropped, %d duplicated, %d reordered, %d spiked, %d stalled, %d slowed (seed %d)\n",
 			s.Dropped, s.Duplicated, s.Reordered, s.Spiked, s.Stalled, s.Slowed, *faultSeed)
 	}
-	if log != nil {
+	if log != nil && *showTrace {
 		fmt.Println()
 		fmt.Print(aiac.Gantt(log, aiac.GanttConfig{Width: 110, Arrows: true}))
+	}
+	if *critPath {
+		fmt.Println()
+		fmt.Print(aiac.RenderCriticalPath(aiac.AnalyzeCriticalPath(log.Events()), 10))
+	}
+}
+
+// writeFileWith creates path and streams fn's output into it, failing hard
+// on any error.
+func writeFileWith(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := fn(f); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("closing %s: %v", path, err)
 	}
 }
 

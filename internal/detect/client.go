@@ -35,7 +35,12 @@ func (c *Client) AfterIteration(env runenv.Env, locallyConverged bool) {
 		return
 	}
 	if !c.sentAny || conv != c.reported {
-		env.Send(c.DetectorID, KindState, StateMsg{Conv: conv}, ctrlBytes)
+		note := "state-relapse"
+		if conv {
+			note = "state-conv"
+		}
+		traceCtrl(env, c.DetectorID, -1, note,
+			env.Send(c.DetectorID, KindState, StateMsg{Conv: conv}, ctrlBytes))
 		c.reported = conv
 		c.sentAny = true
 	}
@@ -48,7 +53,8 @@ func (c *Client) HandleMsg(env runenv.Env, m runenv.Msg) bool {
 	case KindVerify:
 		r := m.Payload.(RoundMsg)
 		conv := c.streak >= c.Streak
-		env.Send(c.DetectorID, KindConfirm, ConfirmMsg{Round: r.Round, Conv: conv}, ctrlBytes)
+		traceCtrl(env, c.DetectorID, -1, "confirm",
+			env.Send(c.DetectorID, KindConfirm, ConfirmMsg{Round: r.Round, Conv: conv}, ctrlBytes))
 		return true
 	case KindHalt:
 		h := m.Payload.(HaltMsg)
@@ -62,7 +68,8 @@ func (c *Client) HandleMsg(env runenv.Env, m runenv.Msg) bool {
 // Abort tells the detector this node hit a safety bound; the detector will
 // halt everyone.
 func (c *Client) Abort(env runenv.Env) {
-	env.Send(c.DetectorID, KindAbort, nil, ctrlBytes)
+	traceCtrl(env, c.DetectorID, -1, "abort",
+		env.Send(c.DetectorID, KindAbort, nil, ctrlBytes))
 }
 
 // Halted reports whether a HALT has been received.

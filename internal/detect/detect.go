@@ -27,6 +27,7 @@ package detect
 
 import (
 	"aiac/internal/runenv"
+	"aiac/internal/trace"
 )
 
 // Message kinds used by the detection protocols. Engine message kinds must
@@ -102,6 +103,12 @@ type Config struct {
 	// asynchronous protocol (kept as an ablation knob).
 	SingleVerify bool
 
+	// TraceIters bounds which barrier releases are traced (a SISC run emits
+	// P control sends per barrier, which would dwarf the rest of the trace):
+	// only barriers for iterations < TraceIters are recorded, 0 = all. The
+	// asynchronous protocols' traffic is round-bounded and always traced.
+	TraceIters int
+
 	// OnRound, when non-nil, is called when the asynchronous detector opens
 	// a verification round (the barrier coordinator releases far too many
 	// barriers to report each one). OnHalt, when non-nil, is called when
@@ -118,6 +125,16 @@ type Outcome struct {
 	// Rounds counts verification rounds opened (async) or barriers
 	// released (barrier mode).
 	Rounds int
+}
+
+// traceCtrl records a detection-protocol send as a Control transfer — the
+// detection edges of the happens-before DAG. env.Trace is a no-op when
+// tracing is disabled.
+func traceCtrl(env runenv.Env, to, iter int, note string, arrival float64) {
+	env.Trace(trace.Event{
+		T0: env.Now(), T1: arrival, Node: env.Rank(), To: to,
+		Kind: trace.Control, Iter: iter, Note: note, Seq: env.LastSendSeq(),
+	})
 }
 
 // Run is the detector process body. It returns when a HALT (or abort) has
@@ -139,9 +156,9 @@ func runAsync(env runenv.Env, cfg Config) Outcome {
 		}
 		return true
 	}
-	broadcast := func(kind int, payload any) {
+	broadcast := func(kind int, payload any, note string) {
 		for i := 0; i < cfg.P; i++ {
-			env.Send(i, kind, payload, ctrlBytes)
+			traceCtrl(env, i, -1, note, env.Send(i, kind, payload, ctrlBytes))
 		}
 	}
 	out := Outcome{}
@@ -159,7 +176,7 @@ func runAsync(env runenv.Env, cfg Config) Outcome {
 		if cfg.OnRound != nil {
 			cfg.OnRound(env.Now(), round)
 		}
-		broadcast(KindVerify, RoundMsg{Round: round})
+		broadcast(KindVerify, RoundMsg{Round: round}, "verify")
 	}
 	for {
 		m, ok := env.RecvWait()
@@ -203,14 +220,14 @@ func runAsync(env runenv.Env, cfg Config) Outcome {
 			if cfg.OnHalt != nil {
 				cfg.OnHalt(env.Now(), false)
 			}
-			broadcast(KindHalt, HaltMsg{})
+			broadcast(KindHalt, HaltMsg{}, "halt-bcast")
 			out.Halted = true
 			return out
 		case KindAbort:
 			if cfg.OnHalt != nil {
 				cfg.OnHalt(env.Now(), true)
 			}
-			broadcast(KindHalt, HaltMsg{Aborted: true})
+			broadcast(KindHalt, HaltMsg{Aborted: true}, "halt-bcast")
 			out.Halted = true
 			out.Aborted = true
 			return out
@@ -251,8 +268,12 @@ func runBarrier(env runenv.Env, cfg Config) Outcome {
 		}
 		out.Rounds++
 		go_ := GoMsg{Iter: iter, Halt: halt || abort, Aborted: abort}
+		traceGo := cfg.TraceIters == 0 || iter < cfg.TraceIters
 		for i := 0; i < cfg.P; i++ {
-			env.Send(i, KindBarrierGo, go_, ctrlBytes)
+			arr := env.Send(i, KindBarrierGo, go_, ctrlBytes)
+			if traceGo {
+				traceCtrl(env, i, iter, "barrier-go", arr)
+			}
 		}
 		if halt || abort {
 			if cfg.OnHalt != nil {

@@ -97,7 +97,8 @@ func (c *RingClient) AfterIteration(env runenv.Env, locallyConverged bool) {
 	if !c.tokenOut && c.conv() {
 		c.round++
 		c.tokenOut = true
-		env.Send(c.next(), KindToken, TokenMsg{Round: c.round, Clean: !c.dirty}, ctrlBytes)
+		traceCtrl(env, c.next(), -1, "token",
+			env.Send(c.next(), KindToken, TokenMsg{Round: c.round, Clean: !c.dirty}, ctrlBytes))
 		c.dirty = false
 	}
 }
@@ -126,7 +127,8 @@ func (c *RingClient) HandleMsg(env runenv.Env, m runenv.Msg) bool {
 				// immediately launch the confirmation round
 				c.round++
 				c.tokenOut = true
-				env.Send(c.next(), KindToken, TokenMsg{Round: c.round, Clean: true}, ctrlBytes)
+				traceCtrl(env, c.next(), -1, "token",
+					env.Send(c.next(), KindToken, TokenMsg{Round: c.round, Clean: true}, ctrlBytes))
 				c.dirty = false
 			} else {
 				c.cleanRuns = 0
@@ -136,7 +138,8 @@ func (c *RingClient) HandleMsg(env runenv.Env, m runenv.Msg) bool {
 		}
 		tok.Clean = tok.Clean && c.conv() && !c.dirty
 		c.dirty = false
-		env.Send(c.next(), KindToken, tok, ctrlBytes)
+		traceCtrl(env, c.next(), -1, "token",
+			env.Send(c.next(), KindToken, tok, ctrlBytes))
 		return true
 	case KindRingHalt:
 		h := m.Payload.(RingHaltMsg)
@@ -147,7 +150,8 @@ func (c *RingClient) HandleMsg(env runenv.Env, m runenv.Msg) bool {
 		// already halted (in particular its originator, closing the ring).
 		if !wasHalted && !c.haltPassed {
 			c.haltPassed = true
-			env.Send(c.next(), KindRingHalt, h, ctrlBytes)
+			traceCtrl(env, c.next(), -1, "ring-halt",
+				env.Send(c.next(), KindRingHalt, h, ctrlBytes))
 		}
 		return true
 	}
@@ -159,7 +163,8 @@ func (c *RingClient) halt(env runenv.Env, aborted bool) {
 	c.halted = true
 	c.aborted = aborted
 	c.haltPassed = true
-	env.Send(c.next(), KindRingHalt, RingHaltMsg{Aborted: aborted}, ctrlBytes)
+	traceCtrl(env, c.next(), -1, "ring-halt",
+		env.Send(c.next(), KindRingHalt, RingHaltMsg{Aborted: aborted}, ctrlBytes))
 }
 
 // Abort halts the whole ring unconverged (safety bound hit).

@@ -355,6 +355,7 @@ func Run(cfg Config) (*Result, error) {
 			P:            p,
 			Barrier:      cfg.Mode == SISC,
 			SingleVerify: cfg.SingleVerify,
+			TraceIters:   cfg.TraceIters,
 		}
 		if s := cfg.Metrics; s != nil {
 			dcfg.OnRound = func(t float64, round int) {
@@ -439,7 +440,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if s := cfg.Metrics; s != nil {
+		var traceDropped uint64
+		if cfg.Trace != nil {
+			traceDropped = cfg.Trace.Dropped()
+		}
 		s.FinishRun(metrics.Outcome{
+			TraceDropped:  traceDropped,
 			Converged:     res.Converged,
 			TimedOut:      res.TimedOut,
 			Time:          res.Time,

@@ -111,6 +111,7 @@ func (n *node) tryLB(dir int) bool {
 		n.env.Trace(trace.Event{
 			T0: n.env.Now(), T1: arrival, Node: n.rank, To: peer,
 			Kind: trace.SendLB, Iter: n.iter, Note: fmt.Sprintf("ship %d", count),
+			Seq: n.env.LastSendSeq(), Xfer: id,
 		})
 	}
 	// Algorithm 5: "OkToTryLB = 20; LBDone = true"
@@ -147,7 +148,7 @@ func (n *node) lbRetry() {
 		}
 		msg := n.lbResendMsg[dir]
 		msg.Load = n.loadEst // refresh the estimate; the trajectories stay the shipped snapshot
-		n.env.Send(peer, kindLBData, msg, trajBytes(msg.Count+n.halo, n.trajLen))
+		arrival := n.env.Send(peer, kindLBData, msg, trajBytes(msg.Count+n.halo, n.trajLen))
 		n.outc.lbRetries++
 		n.lbPendingIter[dir] = n.iter
 		if next := n.lbRetryAfter[dir] * 2; next <= lbRetryCap*n.cfg.LB.Period {
@@ -155,8 +156,9 @@ func (n *node) lbRetry() {
 		}
 		if n.traceOn() {
 			n.env.Trace(trace.Event{
-				T0: n.env.Now(), T1: n.env.Now(), Node: n.rank, To: peer,
-				Kind: trace.Mark, Iter: n.iter, Note: fmt.Sprintf("lb-retry %d", msg.Count),
+				T0: n.env.Now(), T1: arrival, Node: n.rank, To: peer,
+				Kind: trace.SendLB, Iter: n.iter, Note: fmt.Sprintf("lb-retry %d", msg.Count),
+				Seq: n.env.LastSendSeq(), Xfer: n.lbXferID[dir],
 			})
 		}
 	}
@@ -213,16 +215,18 @@ func (n *node) recvLBData(m runenv.Msg) {
 	disp, fresh := n.lbLedger.Classify(d.XferID, attachOK)
 	switch disp {
 	case loadbalance.AckAgain:
-		n.env.Send(m.From, kindLBAck, lbCtrlMsg{XferID: d.XferID, Pos: d.Pos, Count: d.Count}, msgHeaderBytes)
+		n.traceLBCtrl(m.From, d.XferID, "lb-ack-again",
+			n.env.Send(m.From, kindLBAck, lbCtrlMsg{XferID: d.XferID, Pos: d.Pos, Count: d.Count}, msgHeaderBytes))
 		return
 	case loadbalance.Reject:
-		n.env.Send(m.From, kindLBReject, lbCtrlMsg{XferID: d.XferID, Pos: d.Pos, Count: d.Count}, msgHeaderBytes)
+		n.traceLBCtrl(m.From, d.XferID, "lb-reject",
+			n.env.Send(m.From, kindLBReject, lbCtrlMsg{XferID: d.XferID, Pos: d.Pos, Count: d.Count}, msgHeaderBytes))
 		if fresh {
 			n.outc.lbRejected++
 			if n.traceOn() {
 				n.env.Trace(trace.Event{
 					T0: n.env.Now(), T1: n.env.Now(), Node: n.rank, To: m.From,
-					Kind: trace.Mark, Iter: n.iter, Note: "lb-reject",
+					Kind: trace.Mark, Iter: n.iter, Note: "lb-reject", Xfer: d.XferID,
 				})
 			}
 		}
@@ -257,7 +261,8 @@ func (n *node) recvLBData(m runenv.Msg) {
 		n.ownLog(fault.OwnAdopt, d.Pos, d.Pos+d.Count, d.XferID)
 	}
 	n.pruneVal()
-	n.env.Send(m.From, kindLBAck, lbCtrlMsg{XferID: d.XferID, Pos: d.Pos, Count: d.Count}, msgHeaderBytes)
+	n.traceLBCtrl(m.From, d.XferID, "lb-ack",
+		n.env.Send(m.From, kindLBAck, lbCtrlMsg{XferID: d.XferID, Pos: d.Pos, Count: d.Count}, msgHeaderBytes))
 	n.lbDone = true
 	// Receiver cooldown (a refinement over the paper, see DESIGN.md): a
 	// node that just received components waits half a period before
@@ -272,8 +277,23 @@ func (n *node) recvLBData(m runenv.Msg) {
 		n.env.Trace(trace.Event{
 			T0: t0, T1: n.env.Now(), Node: n.rank, To: -1,
 			Kind: trace.Balance, Iter: n.iter, Note: fmt.Sprintf("recv %d", d.Count),
+			Xfer: d.XferID,
 		})
 	}
+}
+
+// traceLBCtrl records an LB handshake answer (ack/reject) as a Control
+// transfer so the critical-path walk can follow the edge back to the
+// receiver's decision.
+func (n *node) traceLBCtrl(peer int, xfer uint64, note string, arrival float64) {
+	if !n.traceOn() {
+		return
+	}
+	n.env.Trace(trace.Event{
+		T0: n.env.Now(), T1: arrival, Node: n.rank, To: peer,
+		Kind: trace.Control, Iter: n.iter, Note: note,
+		Seq: n.env.LastSendSeq(), Xfer: xfer,
+	})
 }
 
 // recvLBAck finalizes one of our transfers: the receiver integrated it, so

@@ -201,6 +201,15 @@ func (n *node) run() *nodeOutcome {
 	default:
 		n.runAsync()
 	}
+	if n.cfg.Trace != nil {
+		// The halt anchor the critical-path analysis walks back from; not
+		// gated by TraceIters (one event per node per run).
+		now := n.env.Now()
+		n.env.Trace(trace.Event{
+			T0: now, T1: now, Node: n.rank, To: -1,
+			Kind: trace.Mark, Iter: n.iter, Note: "halt",
+		})
+	}
 	// A transfer still unacknowledged at halt is treated as rejected so
 	// the shipped components are not lost from the gathered state (the
 	// receiver may also have integrated them; Run deduplicates,
@@ -383,9 +392,13 @@ func (n *node) sweep(midSendLeft bool) {
 		n.sampleMetrics(s, res)
 	}
 	if n.traceOn() {
+		// The halo tags record which neighbor versions this sweep consumed
+		// (constant during the sweep: integration only happens in drain and
+		// the blocking waits) — the inbound edges of the happens-before DAG.
 		n.env.Trace(trace.Event{
 			T0: t0, T1: n.env.Now(), Node: n.rank, To: -1,
 			Kind: trace.Compute, Iter: n.iter,
+			HaloL: n.nbHaloIter[dirLeft], HaloR: n.nbHaloIter[dirRight],
 		})
 	}
 }
@@ -446,7 +459,7 @@ func (n *node) sendBoundary(dir int, load float64, iterTag int) {
 	if n.traceOn() {
 		n.env.Trace(trace.Event{
 			T0: n.env.Now(), T1: arrival, Node: n.rank, To: peer,
-			Kind: kindEv, Iter: iterTag,
+			Kind: kindEv, Iter: iterTag, Seq: n.env.LastSendSeq(),
 		})
 	}
 }
@@ -521,8 +534,15 @@ func (n *node) waitNeighbors(k int) bool {
 // reporting convergence; it returns halt=true when the coordinator ends
 // the computation.
 func (n *node) barrier(k int, conv, abort bool) (halt, ok bool) {
-	n.env.Send(n.det, detect.KindBarrierArrive,
+	sendT := n.env.Now()
+	arr := n.env.Send(n.det, detect.KindBarrierArrive,
 		detect.ArriveMsg{Iter: k, Conv: conv, Abort: abort}, msgHeaderBytes)
+	if n.traceOn() {
+		n.env.Trace(trace.Event{
+			T0: sendT, T1: arr, Node: n.rank, To: n.det,
+			Kind: trace.Control, Iter: k, Note: "barrier-arrive", Seq: n.env.LastSendSeq(),
+		})
+	}
 	t0 := n.env.Now()
 	for {
 		if g := n.pendingGo; g != nil && g.Iter == k {

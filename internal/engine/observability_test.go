@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"aiac/internal/loadbalance"
+	"aiac/internal/metrics"
+	"aiac/internal/report"
+	"aiac/internal/trace"
+)
+
+// obsArtifacts renders one run's observability exports: the Chrome
+// trace-event JSON and the critical-path report.
+func obsArtifacts(t *testing.T, mk func() Config, workers int) (chrome []byte, critical string) {
+	t.Helper()
+	cfg := mk()
+	cfg.SimWorkers = workers
+	log := &trace.Log{}
+	cfg.Trace = log
+	cfg.Metrics = &metrics.Sink{}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(log, &buf); err != nil {
+		t.Fatalf("workers=%d: WriteChrome: %v", workers, err)
+	}
+	return buf.Bytes(), report.CriticalPath(trace.Analyze(log.Events()), 10)
+}
+
+// TestObservabilityDeterminism is the PR's golden pin: the causally-tagged
+// Chrome trace and the critical-path report are byte-identical whether the
+// virtual-time scheduler runs sequentially or with 2 or 4 workers, across
+// the mode grid with and without load balancing.
+func TestObservabilityDeterminism(t *testing.T) {
+	small, _ := smallBruss()
+	var cases []struct {
+		name string
+		mk   func() Config
+	}
+	for _, mode := range []Mode{SISC, SIAC, AIACGeneral, AIAC} {
+		for _, lb := range []bool{false, true} {
+			if lb && mode != AIAC {
+				continue // balancing couples to the mutual-exclusion variant
+			}
+			mode, lb := mode, lb
+			name := fmt.Sprintf("%s-lb=%v", mode, lb)
+			cases = append(cases, struct {
+				name string
+				mk   func() Config
+			}{name, func() Config {
+				cfg := baseConfig(small, 4)
+				cfg.Mode = mode
+				if lb {
+					cfg.LB = loadbalance.DefaultPolicy()
+					cfg.LB.Period = 5
+					cfg.LB.MinKeep = 2
+				}
+				return cfg
+			}})
+		}
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			seqChrome, seqCrit := obsArtifacts(t, tc.mk, 0)
+			if len(seqChrome) == 0 || seqCrit == "" {
+				t.Fatal("empty observability exports")
+			}
+			cp := trace.Analyze(mustEvents(t, tc.mk))
+			if cov := cp.Coverage(); cov < 0.95 {
+				t.Errorf("critical path attributes only %.1f%% of the span", 100*cov)
+			}
+			for _, workers := range []int{2, 4} {
+				parChrome, parCrit := obsArtifacts(t, tc.mk, workers)
+				if !bytes.Equal(seqChrome, parChrome) {
+					t.Errorf("workers=%d: Chrome trace diverged (%d vs %d bytes)",
+						workers, len(seqChrome), len(parChrome))
+				}
+				if seqCrit != parCrit {
+					t.Errorf("workers=%d: critical-path report diverged\nseq:\n%s\npar:\n%s",
+						workers, seqCrit, parCrit)
+				}
+			}
+		})
+	}
+}
+
+// mustEvents reruns the config sequentially and returns its trace events.
+func mustEvents(t *testing.T, mk func() Config) []trace.Event {
+	t.Helper()
+	cfg := mk()
+	log := &trace.Log{}
+	cfg.Trace = log
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return log.Events()
+}

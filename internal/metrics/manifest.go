@@ -77,6 +77,10 @@ type Outcome struct {
 	BoundaryMsgs  int `json:"boundary_messages"`
 	SuppressedSnd int `json:"suppressed_sends,omitempty"`
 
+	// TraceDropped counts trace events discarded by the trace log's memory
+	// cap (see trace.Log.SetCap); 0 when tracing is off or unbounded.
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+
 	Faults fault.Stats `json:"faults"`
 }
 

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// WritePrometheus writes the sink's live state in the Prometheus text
+// exposition format (version 0.0.4). It is safe to call while the run is in
+// progress: everything it reads is atomic (the live per-node gauges, the
+// messaging counters, the latency histogram) — it never touches the
+// mutex-guarded deterministic exports.
+func (s *Sink) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	pw := &promWriter{w: w}
+
+	phase := 0.0
+	switch s.Phase() {
+	case PhaseRunning:
+		phase = 1
+	case PhaseDone:
+		phase = 2
+	}
+	pw.head("aiac_run_phase", "gauge", "Run phase: 0 idle, 1 running, 2 done.")
+	pw.val("aiac_run_phase", "", phase)
+
+	pw.head("aiac_node_residual", "gauge", "Last observed local residual per node.")
+	for i := range s.live {
+		pw.val("aiac_node_residual", nodeLabel(i), s.live[i].residual.Value())
+	}
+	pw.head("aiac_node_iterations", "gauge", "Completed iterations per node.")
+	for i := range s.live {
+		pw.val("aiac_node_iterations", nodeLabel(i), float64(s.live[i].iter.Load()))
+	}
+	pw.head("aiac_node_components", "gauge", "Components currently owned per node.")
+	for i := range s.live {
+		pw.val("aiac_node_components", nodeLabel(i), float64(s.live[i].count.Load()))
+	}
+	pw.head("aiac_node_queue_depth", "gauge", "Mailbox depth at the node's last sample.")
+	for i := range s.live {
+		pw.val("aiac_node_queue_depth", nodeLabel(i), float64(s.live[i].queue.Load()))
+	}
+	pw.head("aiac_node_work_units", "gauge", "Cumulative abstract work units per node.")
+	for i := range s.live {
+		pw.val("aiac_node_work_units", nodeLabel(i), s.live[i].work.Value())
+	}
+
+	pw.head("aiac_faults_injected_total", "counter", "Injected faults per destination node.")
+	for i := range s.faults {
+		pw.val("aiac_faults_injected_total", nodeLabel(i), float64(s.faults[i].Value()))
+	}
+
+	pw.head("aiac_msgs_delivered_total", "counter", "Data-plane messages delivered to mailboxes.")
+	pw.val("aiac_msgs_delivered_total", "", float64(s.Delivered.Value()))
+	pw.head("aiac_msgs_control_total", "counter", "Convergence-detection messages delivered.")
+	pw.val("aiac_msgs_control_total", "", float64(s.Control.Value()))
+	pw.head("aiac_queue_depth_max", "gauge", "Deepest mailbox observed so far.")
+	pw.val("aiac_queue_depth_max", "", s.QueueMax.Value())
+
+	// The latency histogram in native Prometheus cumulative-bucket form.
+	snap := s.Latency.Snapshot()
+	pw.head("aiac_delivery_latency_seconds", "histogram", "Send-to-delivery latency (model seconds).")
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		bound := snap.Bounds[i]
+		if bound == math.MaxFloat64 {
+			continue
+		}
+		pw.val("aiac_delivery_latency_seconds_bucket", fmt.Sprintf(`le="%g"`, bound), float64(cum))
+	}
+	pw.val("aiac_delivery_latency_seconds_bucket", `le="+Inf"`, float64(snap.Count))
+	pw.val("aiac_delivery_latency_seconds_sum", "", snap.Sum)
+	pw.val("aiac_delivery_latency_seconds_count", "", float64(snap.Count))
+	return pw.err
+}
+
+func nodeLabel(i int) string { return fmt.Sprintf(`node="%d"`, i) }
+
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) head(name, typ, help string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) val(name, labels string, v float64) {
+	if p.err != nil {
+		return
+	}
+	if labels == "" {
+		_, p.err = fmt.Fprintf(p.w, "%s %g\n", name, v)
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s{%s} %g\n", name, labels, v)
+}

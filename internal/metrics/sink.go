@@ -3,6 +3,7 @@ package metrics
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"aiac/internal/detect"
 	"aiac/internal/runenv"
@@ -127,6 +128,61 @@ type Sink struct {
 	Control   Counter
 	QueueMax  Gauge
 	Latency   Histogram
+
+	// Live state for the HTTP observability plane (internal/obs): refreshed
+	// on every Sample offer, before the accept filter, so a scrape sees the
+	// current values even between accepted samples. Plain atomics — the
+	// deterministic exports never read them.
+	phase atomic.Int32 // 0 idle, 1 running, 2 done
+	live  []liveNode
+}
+
+// liveNode is one node's last-offered observation, readable concurrently by
+// HTTP scrape handlers while the node's process keeps writing it.
+type liveNode struct {
+	residual Gauge
+	work     Gauge
+	iter     atomic.Int64
+	count    atomic.Int64
+	queue    atomic.Int64
+}
+
+// Run phases, as reported by Phase.
+const (
+	PhaseIdle    = "idle"
+	PhaseRunning = "running"
+	PhaseDone    = "done"
+)
+
+// Phase reports where the run is: "idle" before Start, "running" until
+// FinishRun, "done" after. Safe to call concurrently with the run.
+func (s *Sink) Phase() string {
+	if s == nil {
+		return PhaseIdle
+	}
+	switch s.phase.Load() {
+	case 1:
+		return PhaseRunning
+	case 2:
+		return PhaseDone
+	default:
+		return PhaseIdle
+	}
+}
+
+// LiveResidual returns the current maximum residual across the nodes' most
+// recently offered samples. Safe to call concurrently with the run.
+func (s *Sink) LiveResidual() float64 {
+	if s == nil {
+		return 0
+	}
+	max := 0.0
+	for i := range s.live {
+		if r := s.live[i].residual.Value(); r > max {
+			max = r
+		}
+	}
+	return max
 }
 
 // Start sizes the per-node state for p nodes. engine.Run calls it once
@@ -141,6 +197,8 @@ func (s *Sink) Start(p int) {
 	s.nodes = make([]nodeSeries, p)
 	s.faults = make([]Counter, p)
 	s.faultT = make([][]float64, p)
+	s.live = make([]liveNode, p)
+	s.phase.Store(1)
 	s.mu.Lock()
 	if len(s.evs) < p+1 {
 		s.evs = make([]eventStream, p+1)
@@ -157,6 +215,12 @@ func (s *Sink) Sample(rank int, sm NodeSample) {
 	if s == nil || rank < 0 || rank >= len(s.nodes) {
 		return
 	}
+	lv := &s.live[rank]
+	lv.residual.Set(sm.Residual)
+	lv.work.Set(sm.Work)
+	lv.iter.Store(int64(sm.Iter))
+	lv.count.Store(int64(sm.Count))
+	lv.queue.Store(int64(sm.Queue))
 	ns := &s.nodes[rank]
 	gap := s.Period
 	if ns.minGap > gap {
@@ -281,6 +345,7 @@ func (s *Sink) FinishRun(out Outcome) {
 	if s == nil {
 		return
 	}
+	s.phase.Store(2)
 	s.Manifest.Outcome = &out
 	s.fmu.Lock()
 	defer s.fmu.Unlock()

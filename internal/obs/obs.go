@@ -1,0 +1,94 @@
+// Package obs is the live observability plane: a small HTTP server that
+// exposes a run's metrics.Sink while the run is in progress.
+//
+//	/metrics        Prometheus text exposition of the sink's live state
+//	/healthz        JSON {phase, max_residual} for liveness probes
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//
+// Everything the handlers read is atomic on the sink side, so scrapes are
+// safe concurrently with a running engine under either runtime.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"aiac/internal/metrics"
+)
+
+// Server serves the observability endpoints for one sink. Create with Serve,
+// stop with Close.
+type Server struct {
+	sink *metrics.Sink
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and starts serving in a
+// background goroutine. The returned server keeps running until Close.
+func Serve(addr string, sink *metrics.Sink) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{sink: sink, ln: ln, done: make(chan struct{})}
+
+	// An explicit mux rather than http.DefaultServeMux: importing pprof for
+	// its handlers only, so a library user's default mux stays untouched.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down gracefully, waiting up to the given grace
+// period for in-flight requests (long pprof profiles are cut off).
+func (s *Server) Close(grace time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close()
+	}
+	<-s.done
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.sink.WritePrometheus(w)
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Phase       string  `json:"phase"`
+	MaxResidual float64 `json:"max_residual"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(Health{
+		Phase:       s.sink.Phase(),
+		MaxResidual: s.sink.LiveResidual(),
+	})
+}

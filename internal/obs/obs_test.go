@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"aiac/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	sink := &metrics.Sink{}
+	sink.Start(3)
+	sink.Sample(0, metrics.NodeSample{T: 1, Iter: 10, Residual: 0.5, Count: 100, Queue: 2, Work: 7})
+	sink.Sample(2, metrics.NodeSample{T: 1, Iter: 12, Residual: 0.25, Count: 80, Queue: 0, Work: 9})
+	sink.Latency.Observe(0.01)
+	sink.Delivered.Inc()
+
+	srv, err := Serve("127.0.0.1:0", sink)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close(time.Second)
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if h.Phase != metrics.PhaseRunning {
+		t.Errorf("phase = %q, want %q", h.Phase, metrics.PhaseRunning)
+	}
+	if h.MaxResidual != 0.5 {
+		t.Errorf("max_residual = %g, want 0.5", h.MaxResidual)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	checkPromFormat(t, body)
+	for _, want := range []string{
+		"aiac_run_phase 1",
+		`aiac_node_residual{node="0"} 0.5`,
+		`aiac_node_residual{node="2"} 0.25`,
+		`aiac_node_iterations{node="0"} 10`,
+		"aiac_msgs_delivered_total 1",
+		"aiac_delivery_latency_seconds_count 1",
+		`aiac_delivery_latency_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline status=%d len=%d", code, len(body))
+	}
+
+	sink.FinishRun(metrics.Outcome{Converged: true})
+	_, body = get(t, base+"/healthz")
+	if !strings.Contains(body, metrics.PhaseDone) {
+		t.Errorf("/healthz after FinishRun = %s, want phase %q", body, metrics.PhaseDone)
+	}
+}
+
+// checkPromFormat is a minimal text-exposition parser: every non-comment
+// line must be "name[{labels}] value" and every metric must be preceded by
+// HELP/TYPE headers.
+func checkPromFormat(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("bad sample line: %q", line)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unclosed labels: %q", line)
+			}
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(name, suf); b != name && typed[b] {
+				base = b
+			}
+		}
+		if !typed[base] {
+			t.Errorf("sample %q has no TYPE header", name)
+		}
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", &metrics.Sink{}); err == nil {
+		t.Fatal("Serve with bad addr: want error")
+	}
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aiac/internal/stats"
+	"aiac/internal/trace"
+)
+
+// CriticalPath renders a critical-path analysis as an ASCII report section:
+// the path's length and per-kind breakdown, a per-node blame table, the topN
+// longest path segments, and the on-path/off-path classification of every LB
+// transfer seen in the trace. The output is deterministic in the analysis.
+func CriticalPath(cp *trace.CriticalPath, topN int) string {
+	var b strings.Builder
+	title(&b, "critical path")
+	if cp == nil || len(cp.Segments) == 0 {
+		fmt.Fprintf(&b, "(no trace events)\n")
+		return b.String()
+	}
+	if topN <= 0 {
+		topN = 10
+	}
+
+	total := cp.Total()
+	fmt.Fprintf(&b, "halt at t=%.6g on node %d; path spans [%.6g, %.6g] (%.6g s, %d segments)\n",
+		cp.Anchor.T1, cp.Anchor.Node, cp.Start, cp.End, total, len(cp.Segments))
+	fmt.Fprintf(&b, "attributed %.1f%% of the span\n", 100*cp.Coverage())
+	pct := func(v float64) string {
+		if total <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*v/total)
+	}
+	fmt.Fprintf(&b, "breakdown: compute %.6g s (%s), idle %.6g s (%s), transit %.6g s (%s), LB %.6g s (%s)\n",
+		cp.ByKind[trace.SegCompute], pct(cp.ByKind[trace.SegCompute]),
+		cp.ByKind[trace.SegIdle], pct(cp.ByKind[trace.SegIdle]),
+		cp.ByKind[trace.SegTransit], pct(cp.ByKind[trace.SegTransit]),
+		cp.ByKind[trace.SegLB], pct(cp.ByKind[trace.SegLB]))
+
+	writeBlameTable(&b, cp, total)
+	writeTopSegments(&b, cp, topN)
+	writeLBClassification(&b, cp)
+	return b.String()
+}
+
+func writeBlameTable(b *strings.Builder, cp *trace.CriticalPath, total float64) {
+	title(b, "critical path: per-node blame")
+	t := stats.NewTable("node", "on-path s", "share", "compute", "idle", "transit", "lb")
+	for _, bl := range cp.Blame {
+		share := "-"
+		if total > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*bl.Total()/total)
+		}
+		t.AddRow(bl.Node, fmt.Sprintf("%.6g", bl.Total()), share,
+			fmt.Sprintf("%.6g", bl.Compute), fmt.Sprintf("%.6g", bl.Idle),
+			fmt.Sprintf("%.6g", bl.Transit), fmt.Sprintf("%.6g", bl.LB))
+	}
+	b.WriteString(t.String())
+}
+
+func writeTopSegments(b *strings.Builder, cp *trace.CriticalPath, topN int) {
+	title(b, fmt.Sprintf("critical path: top %d segments", topN))
+	// Order by duration descending; ties by path position (chronological) so
+	// the listing is deterministic.
+	idx := make([]int, len(cp.Segments))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, c int) bool {
+		return cp.Segments[idx[a]].Dur() > cp.Segments[idx[c]].Dur()
+	})
+	if len(idx) > topN {
+		idx = idx[:topN]
+	}
+	t := stats.NewTable("kind", "node", "t0", "t1", "dur s", "detail")
+	for _, i := range idx {
+		sg := cp.Segments[i]
+		detail := sg.Note
+		switch {
+		case sg.Kind == trace.SegTransit:
+			detail = fmt.Sprintf("from node %d", sg.From)
+		case sg.Kind == trace.SegLB && sg.From >= 0 && sg.From != sg.Node:
+			detail = fmt.Sprintf("xfer %d from node %d", sg.Xfer, sg.From)
+		case sg.Kind == trace.SegLB:
+			detail = fmt.Sprintf("xfer %d", sg.Xfer)
+		case sg.Kind == trace.SegCompute:
+			detail = fmt.Sprintf("iter %d", sg.Iter)
+		}
+		t.AddRow(sg.Kind.String(), sg.Node, fmt.Sprintf("%.6g", sg.T0),
+			fmt.Sprintf("%.6g", sg.T1), fmt.Sprintf("%.6g", sg.Dur()), detail)
+	}
+	b.WriteString(t.String())
+}
+
+func writeLBClassification(b *strings.Builder, cp *trace.CriticalPath) {
+	if len(cp.OnPathXfers) == 0 && len(cp.OffPathXfers) == 0 {
+		return
+	}
+	title(b, "critical path: LB transfers")
+	fmt.Fprintf(b, "%d on-path (delayed convergence-relevant work), %d off-path\n",
+		len(cp.OnPathXfers), len(cp.OffPathXfers))
+	fmt.Fprintf(b, "on-path:  %s\n", xferList(cp.OnPathXfers))
+	fmt.Fprintf(b, "off-path: %s\n", xferList(cp.OffPathXfers))
+}
+
+// xferList formats transfer ids as "node/seq" pairs (the id packs the
+// initiator rank+1 in the high word and its transfer counter in the low).
+func xferList(ids []uint64) string {
+	if len(ids) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d/%d", int(id>>32)-1, uint32(id))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"aiac/internal/trace"
+)
+
+func TestCriticalPathRender(t *testing.T) {
+	evs := []trace.Event{
+		{T0: 0, T1: 1, Node: 0, To: -1, Kind: trace.Compute, Iter: 0},
+		{T0: 1, T1: 1.4, Node: 0, To: 1, Kind: trace.SendLB, Iter: 0, Seq: 1, Xfer: 1<<32 | 1},
+		{T0: 1.4, T1: 1.6, Node: 1, To: -1, Kind: trace.Balance, Iter: 0, Xfer: 1<<32 | 1},
+		{T0: 1.6, T1: 2.6, Node: 1, To: -1, Kind: trace.Compute, Iter: 1},
+		{T0: 0, T1: 0.3, Node: 2, To: 3, Kind: trace.SendLB, Iter: 0, Seq: 1, Xfer: 3<<32 | 2},
+		{T0: 2.6, T1: 2.6, Node: 1, To: -1, Kind: trace.Mark, Iter: 1, Note: "halt"},
+	}
+	out := CriticalPath(trace.Analyze(evs), 5)
+	for _, want := range []string{
+		"== critical path ==",
+		"halt at t=2.6 on node 1",
+		"attributed 100.0% of the span",
+		"per-node blame",
+		"top 5 segments",
+		"1 on-path (delayed convergence-relevant work), 1 off-path",
+		"on-path:  0/1", // xfer id 1<<32|1 renders as initiator/counter
+		"off-path: 2/2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic rendering: same input, same bytes.
+	if out2 := CriticalPath(trace.Analyze(evs), 5); out2 != out {
+		t.Error("render not deterministic")
+	}
+}
+
+func TestCriticalPathRenderEmpty(t *testing.T) {
+	out := CriticalPath(trace.Analyze(nil), 5)
+	if !strings.Contains(out, "(no trace events)") {
+		t.Errorf("empty render = %q", out)
+	}
+	if out2 := CriticalPath(nil, 5); !strings.Contains(out2, "(no trace events)") {
+		t.Errorf("nil render = %q", out2)
+	}
+}

@@ -62,6 +62,8 @@ type wproc struct {
 	// per-process counters, so message identity never encodes how the
 	// scheduler interleaved other processes).
 	seq uint64
+	// lastSend is the Msg.Seq of the primary copy of the most recent Send.
+	lastSend uint64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -199,6 +201,12 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 	}
 	arrival := now + delay + f.ExtraDelay
 
+	// The primary copy's seq is allocated before any duplicate copies, and
+	// even when the message is dropped — the same order the vtime runtime
+	// uses — so (rank, seq) message identities agree across the runtimes.
+	seq := e.p.nextSeq()
+	e.p.lastSend = seq
+
 	// Duplicate copies are delivered by free-running goroutines outside the
 	// per-pair FIFO serialization — reordering is the point of the fault.
 	for _, dd := range f.DupDelays {
@@ -216,7 +224,7 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 	if f.Reorder {
 		m := runenv.Msg{
 			From: e.p.id, To: to, Kind: kind, Payload: payload, Bytes: bytes,
-			SendT: now, Seq: e.p.nextSeq(),
+			SendT: now, Seq: seq,
 		}
 		w.delWG.Add(1)
 		w.deliverLoose(m, w.toWall(arrival-now))
@@ -224,7 +232,6 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 	}
 
 	key := [2]int{e.p.id, to}
-	seq := e.p.nextSeq()
 	w.mu.Lock()
 	ps := w.pairs[key]
 	if ps == nil {
@@ -333,6 +340,8 @@ func (e *env) Stopped() bool { return e.p.w.isStopped() }
 func (e *env) Stop() { e.p.w.stop() }
 
 func (e *env) Rand() *rand.Rand { return e.p.rng }
+
+func (e *env) LastSendSeq() uint64 { return e.p.lastSend }
 
 func (e *env) Trace(ev trace.Event) {
 	if t := e.p.w.cfg.Trace; t != nil {

@@ -66,6 +66,10 @@ type Env interface {
 	Stop()
 	// Rand returns this process's deterministic private RNG.
 	Rand() *rand.Rand
+	// LastSendSeq returns the Msg.Seq assigned to the primary copy of the
+	// most recent Send by this process (0 before any send). Together with
+	// the rank it forms the causal message identity recorded in traces.
+	LastSendSeq() uint64
 	// Trace records an event if tracing is enabled, else it is a no-op.
 	Trace(ev trace.Event)
 	// Pending returns the number of messages currently queued in this

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteChrome exports the log in Chrome trace-event JSON (the "JSON array
+// format"), loadable in Perfetto or chrome://tracing. Each node becomes a
+// thread (tid = node rank); span kinds become complete ("X") slices, message
+// kinds become a transfer slice on the sender plus a flow-event pair
+// ("s"/"f") arrowing from the send to the delivery, and marks become instant
+// events. Timestamps are microseconds of simulated (or scaled real) time.
+//
+// The output is byte-deterministic for a given event sequence: events are
+// emitted in Events() order with fixed number formatting.
+func WriteChrome(l *Log, w io.Writer) error {
+	evs := l.Events()
+	bw := &chromeWriter{w: w}
+	bw.raw("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+
+	// Thread-name metadata for every node that appears.
+	maxNode := -1
+	for _, ev := range evs {
+		if ev.Node > maxNode {
+			maxNode = ev.Node
+		}
+		if ev.To > maxNode {
+			maxNode = ev.To
+		}
+	}
+	for n := 0; n <= maxNode; n++ {
+		bw.event(fmt.Sprintf(
+			`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"node %d"}}`, n, n))
+	}
+
+	for _, ev := range evs {
+		ts := chromeTS(ev.T0)
+		dur := chromeTS(ev.T1 - ev.T0)
+		switch ev.Kind {
+		case Compute, Idle, Balance:
+			args := fmt.Sprintf(`{"iter":%d,"halo_l":%d,"halo_r":%d,"xfer":%d,"note":%q}`,
+				ev.Iter, ev.HaloL, ev.HaloR, ev.Xfer, ev.Note)
+			bw.event(fmt.Sprintf(
+				`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":%q,"args":%s}`,
+				ev.Node, ts, dur, ev.Kind.String(), ev.Kind.String(), args))
+		case SendLeft, SendRight, SendLB, Control:
+			name := fmt.Sprintf("%s → %d", ev.Kind, ev.To)
+			args := fmt.Sprintf(`{"iter":%d,"seq":%d,"xfer":%d,"note":%q}`,
+				ev.Iter, ev.Seq, ev.Xfer, ev.Note)
+			bw.event(fmt.Sprintf(
+				`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":"msg","args":%s}`,
+				ev.Node, ts, dur, name, args))
+			// Flow arrow from the send slice to the delivery point. The id
+			// is the causal message identity (sender, sender-local seq).
+			id := fmt.Sprintf("%d.%d", ev.Node, ev.Seq)
+			bw.event(fmt.Sprintf(
+				`{"ph":"s","pid":0,"tid":%d,"ts":%s,"id":%q,"name":%q,"cat":"msg"}`,
+				ev.Node, ts, id, name))
+			bw.event(fmt.Sprintf(
+				`{"ph":"f","bp":"e","pid":0,"tid":%d,"ts":%s,"id":%q,"name":%q,"cat":"msg"}`,
+				ev.To, chromeTS(ev.T1), id, name))
+		case Mark:
+			bw.event(fmt.Sprintf(
+				`{"ph":"i","s":"t","pid":0,"tid":%d,"ts":%s,"name":%q,"cat":"mark","args":{"iter":%d,"xfer":%d}}`,
+				ev.Node, ts, ev.Note, ev.Iter, ev.Xfer))
+		}
+	}
+	bw.raw("\n]}\n")
+	return bw.err
+}
+
+// chromeTS formats seconds as microseconds with fixed sub-microsecond
+// precision, trimming a trailing ".000" so common values stay compact.
+func chromeTS(sec float64) string {
+	s := fmt.Sprintf("%.3f", sec*1e6)
+	return strings.TrimSuffix(s, ".000")
+}
+
+type chromeWriter struct {
+	w     io.Writer
+	err   error
+	first bool
+}
+
+func (cw *chromeWriter) raw(s string) {
+	if cw.err != nil {
+		return
+	}
+	_, cw.err = io.WriteString(cw.w, s)
+}
+
+func (cw *chromeWriter) event(s string) {
+	if cw.first {
+		cw.raw(",\n")
+	}
+	cw.first = true
+	cw.raw(s)
+}

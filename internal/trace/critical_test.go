@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// A two-node chain: node 0 computes, sends, node 1 computes on the arrival
+// and halts. The path must be compute(0) -> transit -> compute(1).
+func TestAnalyzeChain(t *testing.T) {
+	evs := []Event{
+		{T0: 0, T1: 1, Node: 0, To: -1, Kind: Compute, Iter: 0},
+		{T0: 1, T1: 1.5, Node: 0, To: 1, Kind: SendRight, Iter: 0, Seq: 1},
+		{T0: 0, T1: 0.8, Node: 1, To: -1, Kind: Compute, Iter: 0},
+		{T0: 1.5, T1: 2.5, Node: 1, To: -1, Kind: Compute, Iter: 1},
+		{T0: 2.5, T1: 2.5, Node: 1, To: -1, Kind: Mark, Iter: 1, Note: "halt"},
+	}
+	cp := Analyze(evs)
+	if cp.Anchor.Node != 1 || cp.Anchor.T1 != 2.5 {
+		t.Fatalf("anchor = %+v, want halt mark on node 1 at 2.5", cp.Anchor)
+	}
+	wantKinds := []SegKind{SegCompute, SegTransit, SegCompute}
+	if len(cp.Segments) != len(wantKinds) {
+		t.Fatalf("got %d segments %+v, want %d", len(cp.Segments), cp.Segments, len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if cp.Segments[i].Kind != k {
+			t.Errorf("segment %d kind = %s, want %s", i, cp.Segments[i].Kind, k)
+		}
+	}
+	tr := cp.Segments[1]
+	if tr.Node != 1 || tr.From != 0 || !approx(tr.T0, 1) || !approx(tr.T1, 1.5) {
+		t.Errorf("transit segment = %+v, want node 1 from 0 over [1, 1.5]", tr)
+	}
+	if !approx(cp.Total(), 2.5) || !approx(cp.Coverage(), 1) {
+		t.Errorf("total %g coverage %g, want 2.5 and 1", cp.Total(), cp.Coverage())
+	}
+	if !approx(cp.ByKind[SegCompute], 2) || !approx(cp.ByKind[SegTransit], 0.5) {
+		t.Errorf("ByKind = %v, want compute 2 transit 0.5", cp.ByKind)
+	}
+	// Blame: node 0 gets its compute; node 1 gets the transit (it waited) and
+	// its own compute.
+	var b0, b1 *NodeBlame
+	for i := range cp.Blame {
+		switch cp.Blame[i].Node {
+		case 0:
+			b0 = &cp.Blame[i]
+		case 1:
+			b1 = &cp.Blame[i]
+		}
+	}
+	if b0 == nil || !approx(b0.Compute, 1) || !approx(b0.Total(), 1) {
+		t.Errorf("node 0 blame = %+v, want compute 1", b0)
+	}
+	if b1 == nil || !approx(b1.Compute, 1) || !approx(b1.Transit, 0.5) {
+		t.Errorf("node 1 blame = %+v, want compute 1 transit 0.5", b1)
+	}
+}
+
+// A gap with no explaining activity or arrival becomes an idle segment.
+func TestAnalyzeIdleGap(t *testing.T) {
+	evs := []Event{
+		{T0: 0, T1: 1, Node: 0, To: -1, Kind: Compute, Iter: 0},
+		{T0: 2, T1: 3, Node: 0, To: -1, Kind: Compute, Iter: 1},
+		{T0: 3, T1: 3, Node: 0, To: -1, Kind: Mark, Iter: 1, Note: "halt"},
+	}
+	cp := Analyze(evs)
+	wantKinds := []SegKind{SegCompute, SegIdle, SegCompute}
+	if len(cp.Segments) != 3 {
+		t.Fatalf("got %d segments %+v", len(cp.Segments), cp.Segments)
+	}
+	for i, k := range wantKinds {
+		if cp.Segments[i].Kind != k {
+			t.Errorf("segment %d = %s, want %s", i, cp.Segments[i].Kind, k)
+		}
+	}
+	if idle := cp.Segments[1]; !approx(idle.T0, 1) || !approx(idle.T1, 2) {
+		t.Errorf("idle segment [%g, %g], want [1, 2]", idle.T0, idle.T1)
+	}
+	if !approx(cp.ByKind[SegIdle], 1) {
+		t.Errorf("idle time = %g, want 1", cp.ByKind[SegIdle])
+	}
+}
+
+// LB events on the path are classified on-path; others off-path. Balance
+// spans and SendLB transits both count as SegLB.
+func TestAnalyzeLBClassification(t *testing.T) {
+	const xOn, xOff = uint64(1<<32 | 1), uint64(2<<32 | 1)
+	evs := []Event{
+		{T0: 0, T1: 1, Node: 0, To: -1, Kind: Compute, Iter: 0},
+		{T0: 1, T1: 1.4, Node: 0, To: 1, Kind: SendLB, Iter: 0, Seq: 1, Xfer: xOn},
+		{T0: 1.4, T1: 1.6, Node: 1, To: -1, Kind: Balance, Iter: 0, Xfer: xOn},
+		{T0: 1.6, T1: 2.6, Node: 1, To: -1, Kind: Compute, Iter: 1},
+		// An LB exchange that never feeds the halting chain.
+		{T0: 0, T1: 0.3, Node: 2, To: 3, Kind: SendLB, Iter: 0, Seq: 1, Xfer: xOff},
+		{T0: 2.6, T1: 2.6, Node: 1, To: -1, Kind: Mark, Iter: 1, Note: "halt"},
+	}
+	cp := Analyze(evs)
+	if !approx(cp.ByKind[SegLB], 0.6) {
+		t.Errorf("LB time = %g, want 0.6 (transit 0.4 + balance 0.2)", cp.ByKind[SegLB])
+	}
+	if len(cp.OnPathXfers) != 1 || cp.OnPathXfers[0] != xOn {
+		t.Errorf("OnPathXfers = %v, want [%d]", cp.OnPathXfers, xOn)
+	}
+	if len(cp.OffPathXfers) != 1 || cp.OffPathXfers[0] != xOff {
+		t.Errorf("OffPathXfers = %v, want [%d]", cp.OffPathXfers, xOff)
+	}
+}
+
+// Without a halt mark, the anchor falls back to the latest event; ties on
+// mark T1 break toward the higher node.
+func TestAnalyzeAnchorSelection(t *testing.T) {
+	cp := Analyze([]Event{
+		{T0: 0, T1: 2, Node: 0, To: -1, Kind: Compute, Iter: 0},
+		{T0: 0, T1: 1, Node: 1, To: -1, Kind: Compute, Iter: 0},
+	})
+	if cp.Anchor.Node != 0 || cp.Anchor.T1 != 2 {
+		t.Errorf("fallback anchor = %+v, want node 0 compute ending at 2", cp.Anchor)
+	}
+	cp = Analyze([]Event{
+		{T0: 0, T1: 1, Node: 0, To: -1, Kind: Compute, Iter: 0},
+		{T0: 0, T1: 1, Node: 2, To: -1, Kind: Compute, Iter: 0},
+		{T0: 1, T1: 1, Node: 0, To: -1, Kind: Mark, Iter: 0, Note: "halt"},
+		{T0: 1, T1: 1, Node: 2, To: -1, Kind: Mark, Iter: 0, Note: "halt"},
+	})
+	if cp.Anchor.Node != 2 {
+		t.Errorf("tied halts anchor on node %d, want 2", cp.Anchor.Node)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	cp := Analyze(nil)
+	if len(cp.Segments) != 0 || cp.Total() != 0 || cp.Coverage() != 1 {
+		t.Errorf("empty analysis = %+v, want no segments", cp)
+	}
+}
+
+// Zero-duration activities must not stall the backward walk.
+func TestAnalyzeZeroDurationProgress(t *testing.T) {
+	evs := []Event{
+		{T0: 0, T1: 1, Node: 0, To: -1, Kind: Compute, Iter: 0},
+		{T0: 1, T1: 1, Node: 0, To: -1, Kind: Balance, Iter: 0, Xfer: 5},
+		{T0: 1, T1: 1, Node: 0, To: -1, Kind: Mark, Iter: 0, Note: "halt"},
+	}
+	cp := Analyze(evs)
+	if len(cp.Segments) == 0 || !approx(cp.Total(), 1) {
+		t.Fatalf("walk stalled: %+v", cp)
+	}
+	if !approx(cp.ByKind[SegCompute], 1) {
+		t.Errorf("compute = %g, want 1", cp.ByKind[SegCompute])
+	}
+}
+
+func TestSegKindString(t *testing.T) {
+	want := map[SegKind]string{SegCompute: "compute", SegIdle: "idle", SegTransit: "transit", SegLB: "lb"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("SegKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -5,9 +5,11 @@
 package trace
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -55,6 +57,13 @@ func (k Kind) String() string {
 
 // Event is a single recorded occurrence. For span kinds To is -1.
 // Times are in simulated (or scaled real) seconds.
+//
+// The causal fields (Seq, HaloL, HaloR, Xfer) identify the event's place in
+// the happens-before order: a message event's identity is (Node, Seq) — Seq
+// is the sender-local runtime sequence, so it matches the runenv.Msg.Seq the
+// receiver observes — a Compute span records which halo versions it consumed,
+// and load-balancing events carry the transfer id of the handshake they
+// belong to. Zero values mean "not applicable".
 type Event struct {
 	T0, T1 float64
 	Node   int
@@ -62,18 +71,69 @@ type Event struct {
 	Kind   Kind
 	Iter   int    // iteration number at the emitting node, -1 if n/a
 	Note   string // free-form annotation
+	Seq    uint64 // sender-local message sequence (message kinds), 0 = n/a
+	HaloL  int    // left-halo iteration a Compute span consumed, -1 = initial values
+	HaloR  int    // right-halo iteration a Compute span consumed, -1 = initial values
+	Xfer   uint64 // load-balancing transfer id (LB events), 0 = n/a
 }
 
 // Log is a concurrency-safe append-only collection of events.
-// The zero value is ready to use.
+// The zero value is ready to use and unbounded; see SetCap.
 type Log struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	cap     int    // max retained events, 0 = unbounded
+	stride  int    // keep 1 of every stride Adds (grows as the log thins)
+	skip    int    // Adds discarded since the last kept event
+	dropped uint64 // total events discarded by the cap policy
+}
+
+// SetCap bounds the log to at most n retained events (0 restores the
+// unbounded default). When the buffer fills, the log thins itself the same
+// way the metrics sampler does: it discards every other retained event and
+// doubles its keep stride, so long runs degrade to a uniform subsample
+// instead of growing without bound. Dropped counts are reported by Dropped.
+func (l *Log) SetCap(n int) {
+	l.mu.Lock()
+	l.cap = n
+	if l.stride == 0 {
+		l.stride = 1
+	}
+	l.mu.Unlock()
+}
+
+// Dropped reports how many events the cap policy has discarded.
+func (l *Log) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // Add appends an event to the log. It is safe for concurrent use.
 func (l *Log) Add(ev Event) {
 	l.mu.Lock()
+	if l.cap > 0 {
+		if l.stride == 0 {
+			l.stride = 1
+		}
+		if l.skip+1 < l.stride {
+			l.skip++
+			l.dropped++
+			l.mu.Unlock()
+			return
+		}
+		l.skip = 0
+		if len(l.events) >= l.cap {
+			// Halve in place: keep every other event, double the stride.
+			kept := l.events[:0]
+			for i := 0; i < len(l.events); i += 2 {
+				kept = append(kept, l.events[i])
+			}
+			l.dropped += uint64(len(l.events) - len(kept))
+			l.events = kept
+			l.stride *= 2
+		}
+	}
 	l.events = append(l.events, ev)
 	l.mu.Unlock()
 }
@@ -135,17 +195,95 @@ func (l *Log) Span() (t0, t1 float64) {
 	return t0, t1
 }
 
-// WriteCSV writes the events as CSV rows: t0,t1,node,to,kind,iter,note.
+// WriteCSV writes the events as CSV rows:
+// t0,t1,node,to,kind,iter,note,msg,halo_l,halo_r,xfer.
+// The first seven columns are the stable pre-causal schema; the causal
+// columns are appended so existing tooling keeps working by position.
 func (l *Log) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "t0,t1,node,to,kind,iter,note"); err != nil {
+	if _, err := fmt.Fprintln(w, "t0,t1,node,to,kind,iter,note,msg,halo_l,halo_r,xfer"); err != nil {
 		return err
 	}
 	for _, ev := range l.Events() {
 		note := strings.ReplaceAll(ev.Note, ",", ";")
-		if _, err := fmt.Fprintf(w, "%.9f,%.9f,%d,%d,%s,%d,%s\n",
-			ev.T0, ev.T1, ev.Node, ev.To, ev.Kind, ev.Iter, note); err != nil {
+		if _, err := fmt.Fprintf(w, "%.9f,%.9f,%d,%d,%s,%d,%s,%d,%d,%d,%d\n",
+			ev.T0, ev.T1, ev.Node, ev.To, ev.Kind, ev.Iter, note,
+			ev.Seq, ev.HaloL, ev.HaloR, ev.Xfer); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// kindFromString inverts Kind.String.
+func kindFromString(s string) (Kind, error) {
+	for k := Compute; k <= Mark; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q", s)
+}
+
+// ReadCSV parses a log previously written by WriteCSV. It accepts both the
+// current 11-column schema and the pre-causal 7-column one (causal fields
+// default to zero), so old exports stay loadable.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(text, "t0,") {
+			continue // header
+		}
+		f := strings.Split(text, ",")
+		if len(f) != 7 && len(f) != 11 {
+			return nil, fmt.Errorf("trace: line %d: %d columns, want 7 or 11", line, len(f))
+		}
+		var ev Event
+		var err error
+		if ev.T0, err = strconv.ParseFloat(f[0], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d t0: %v", line, err)
+		}
+		if ev.T1, err = strconv.ParseFloat(f[1], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d t1: %v", line, err)
+		}
+		if ev.Node, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("trace: line %d node: %v", line, err)
+		}
+		if ev.To, err = strconv.Atoi(f[3]); err != nil {
+			return nil, fmt.Errorf("trace: line %d to: %v", line, err)
+		}
+		if ev.Kind, err = kindFromString(f[4]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		if ev.Iter, err = strconv.Atoi(f[5]); err != nil {
+			return nil, fmt.Errorf("trace: line %d iter: %v", line, err)
+		}
+		ev.Note = f[6]
+		if len(f) == 11 {
+			if ev.Seq, err = strconv.ParseUint(f[7], 10, 64); err != nil {
+				return nil, fmt.Errorf("trace: line %d msg: %v", line, err)
+			}
+			if ev.HaloL, err = strconv.Atoi(f[8]); err != nil {
+				return nil, fmt.Errorf("trace: line %d halo_l: %v", line, err)
+			}
+			if ev.HaloR, err = strconv.Atoi(f[9]); err != nil {
+				return nil, fmt.Errorf("trace: line %d halo_r: %v", line, err)
+			}
+			if ev.Xfer, err = strconv.ParseUint(f[10], 10, 64); err != nil {
+				return nil, fmt.Errorf("trace: line %d xfer: %v", line, err)
+			}
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -145,6 +145,7 @@ type proc struct {
 	// everyone else at the next window boundary (see parallel.go).
 	stopSelf bool
 	cnt      uint64 // event counter: tie-break + Msg.Seq for events this proc creates
+	lastSend uint64 // Msg.Seq of the primary copy of the most recent Send
 	rng      *rand.Rand
 	sched    *Scheduler
 	grp      *group
@@ -582,6 +583,7 @@ func (e *env) Send(to, kind int, payload any, bytes int) float64 {
 		From: p.id, To: to, Kind: kind, Payload: payload, Bytes: bytes,
 		SendT: p.clock, Seq: p.nextCnt(),
 	}
+	p.lastSend = m.Seq
 	if !f.Drop {
 		p.route(event{t: arrival, src: p.id, cnt: m.Seq, kind: evDeliver, proc: to, msg: m})
 	}
@@ -633,6 +635,8 @@ func (e *env) Stop() {
 }
 
 func (e *env) Rand() *rand.Rand { return e.p.rng }
+
+func (e *env) LastSendSeq() uint64 { return e.p.lastSend }
 
 func (e *env) Trace(ev trace.Event) {
 	s := e.p.sched
