@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-diff check test-faults fmt-check report critpath cover
+.PHONY: build test vet race bench bench-json bench-diff bench-par check test-faults test-par fmt-check report critpath cover
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,26 @@ bench-json:
 bench-diff:
 	$(GO) test -run NONE -bench . -benchmem . | \
 		$(GO) run ./cmd/benchjson -diff "$$(ls BENCH_*.json | sort -V | tail -1)"
+
+# Parallel-scheduler speedup sweep: the SimWorkers in {1,4} benchmark pair
+# diffed against the most recent committed baseline. Set BENCH_PAR_GATE to a
+# ratio (e.g. 1.5) to fail the target when any benchmark regresses past it;
+# keep it unset on shared/starved runners, where wall-clock ratios are noise
+# (the baseline document's num_cpu field says what the record was measured
+# on).
+BENCH_PAR_GATE ?=
+bench-par:
+	$(GO) test -run NONE -bench 'Sim/workers=(1|4)$$' -benchmem . | \
+		$(GO) run ./cmd/benchjson -diff "$$(ls BENCH_*.json | sort -V | tail -1)" \
+			$(if $(BENCH_PAR_GATE),-fail-above $(BENCH_PAR_GATE))
+
+# The parallel determinism contract: the scheduler-level equivalence grids
+# and the engine-level bit-identity grid (mode x LB x faults x detection),
+# plus the partition planner's pinned and property tests, all under -race.
+test-par:
+	$(GO) test -race -timeout 30m ./internal/vtime/ -run 'TestParallel'
+	$(GO) test -race -timeout 30m ./internal/engine/ \
+		-run 'TestParallelEngineEquivalence|TestPlanGroups|TestAdaptiveLookahead|TestSimManifest'
 
 # Everything must stay gofmt-clean; prints the offending files on failure.
 fmt-check:
@@ -80,4 +100,4 @@ cover:
 	awk -v p="$$pct" -v min="$(COVER_MIN)" 'BEGIN {exit !(p+0 < min+0)}' && \
 		{ echo "FAIL: internal/trace coverage $$pct% < $(COVER_MIN)%"; exit 1; } || true
 
-check: build fmt-check vet test test-faults race
+check: build fmt-check vet test test-faults test-par race

@@ -13,9 +13,12 @@
 // may be a full `go test` transcript.
 //
 // With -diff it instead compares the input against a previously recorded
-// JSON document and prints one line per benchmark with old/new ns/op and
-// the relative change (negative = faster now). -o may still be given to
-// record the new document in the same invocation.
+// JSON document and prints one line per benchmark with old/new ns/op, the
+// new/old ratio, and the relative change (negative = faster now). -o may
+// still be given to record the new document in the same invocation.
+// -fail-above/-fail-below turn the diff into a gate: the exit status is 1
+// when any benchmark's ratio breaches the threshold, so `make bench-par`
+// and CI can enforce a performance envelope.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -46,22 +50,29 @@ type Benchmark struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Document is the emitted JSON root.
+// Document is the emitted JSON root. NumCPU and GoMaxProcs record the
+// recording host's parallel capacity: a SimWorkers benchmark that shows no
+// speedup on a num_cpu=1 record is expected, not a regression, and the
+// fields make that visible in the committed baseline.
 type Document struct {
 	Note       string      `json:"note,omitempty"`
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	NumCPU     int         `json:"num_cpu,omitempty"`
+	GoMaxProcs int         `json:"gomaxprocs,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
 func main() {
 	var (
-		inPath   = flag.String("i", "", "input file (default stdin)")
-		outPath  = flag.String("o", "", "output file (default stdout)")
-		note     = flag.String("note", "", "free-form note stored in the document")
-		diffPath = flag.String("diff", "", "previously recorded JSON document to compare the input against")
+		inPath    = flag.String("i", "", "input file (default stdin)")
+		outPath   = flag.String("o", "", "output file (default stdout)")
+		note      = flag.String("note", "", "free-form note stored in the document")
+		diffPath  = flag.String("diff", "", "previously recorded JSON document to compare the input against")
+		failAbove = flag.Float64("fail-above", 0, "with -diff: exit 1 if any new/old ns/op ratio exceeds this (e.g. 1.25 = fail on >25% regression; 0 disables)")
+		failBelow = flag.Float64("fail-below", 0, "with -diff: exit 1 if any new/old ns/op ratio falls below this (guards against suspicious speedups / broken benchmarks; 0 disables)")
 	)
 	flag.Parse()
 
@@ -79,6 +90,8 @@ func main() {
 		fatalf("%v", err)
 	}
 	doc.Note = *note
+	doc.NumCPU = runtime.NumCPU()
+	doc.GoMaxProcs = runtime.GOMAXPROCS(0)
 	if len(doc.Benchmarks) == 0 {
 		fatalf("no benchmark lines found in input")
 	}
@@ -87,9 +100,13 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		printDiff(os.Stdout, *diffPath, old, doc)
+		breached := printDiff(os.Stdout, *diffPath, old, doc, *failAbove, *failBelow)
 		if *outPath != "" {
 			writeDoc(*outPath, doc)
+		}
+		if len(breached) > 0 {
+			fatalf("%d benchmark(s) breached the ratio gate [below %g, above %g]: %s",
+				len(breached), *failBelow, *failAbove, strings.Join(breached, ", "))
 		}
 		return
 	}
@@ -129,34 +146,48 @@ func readDoc(path string) (*Document, error) {
 }
 
 // printDiff prints one line per benchmark of the new document with the old
-// ns/op beside it. Benchmarks only present on one side are reported too, so
-// a renamed or deleted benchmark cannot silently vanish from the record.
-func printDiff(w io.Writer, oldName string, old, cur *Document) {
+// ns/op beside it, plus the new/old ratio (0.5 = twice as fast). Benchmarks
+// only present on one side are reported too, so a renamed or deleted
+// benchmark cannot silently vanish from the record. When failAbove or
+// failBelow is non-zero it returns the names whose ratio breached the gate;
+// one-sided benchmarks never breach (they have no ratio).
+func printDiff(w io.Writer, oldName string, old, cur *Document, failAbove, failBelow float64) []string {
 	oldNs := make(map[string]float64, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
 		oldNs[b.Name] = b.NsPerOp
 	}
-	fmt.Fprintf(w, "vs %s (%s)\n", oldName, old.Note)
-	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	note := old.Note
+	if old.NumCPU > 0 {
+		note = fmt.Sprintf("%s, %d cpus", note, old.NumCPU)
+	}
+	fmt.Fprintf(w, "vs %s (%s)\n", oldName, note)
+	fmt.Fprintf(w, "%-52s %14s %14s %7s %9s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "delta")
+	var breached []string
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
 		seen[b.Name] = true
 		prev, ok := oldNs[b.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-52s %14s %14.0f %9s\n", b.Name, "-", b.NsPerOp, "new")
+			fmt.Fprintf(w, "%-52s %14s %14.0f %7s %9s\n", b.Name, "-", b.NsPerOp, "-", "new")
 			continue
 		}
-		delta := "n/a"
+		ratioCol, delta := "n/a", "n/a"
 		if prev > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(b.NsPerOp-prev)/prev)
+			ratio := b.NsPerOp / prev
+			ratioCol = fmt.Sprintf("%.3f", ratio)
+			delta = fmt.Sprintf("%+.1f%%", 100*(ratio-1))
+			if (failAbove > 0 && ratio > failAbove) || (failBelow > 0 && ratio < failBelow) {
+				breached = append(breached, b.Name)
+			}
 		}
-		fmt.Fprintf(w, "%-52s %14.0f %14.0f %9s\n", b.Name, prev, b.NsPerOp, delta)
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %7s %9s\n", b.Name, prev, b.NsPerOp, ratioCol, delta)
 	}
 	for _, b := range old.Benchmarks {
 		if !seen[b.Name] {
-			fmt.Fprintf(w, "%-52s %14.0f %14s %9s\n", b.Name, b.NsPerOp, "-", "gone")
+			fmt.Fprintf(w, "%-52s %14.0f %14s %7s %9s\n", b.Name, b.NsPerOp, "-", "-", "gone")
 		}
 	}
+	return breached
 }
 
 // Parse reads a `go test -bench` transcript and extracts the document.

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: aiac
+cpu: some cpu
+BenchmarkTable1HeterogeneousSim/workers=1-4   20   9000000 ns/op   436405 B/op   2776 allocs/op
+BenchmarkTable1HeterogeneousSim/workers=4-4   20   4500000 ns/op   436405 B/op   2776 allocs/op
+BenchmarkGone-4                               10   1000000 ns/op
+`
+
+func parseSample(t *testing.T) *Document {
+	t.Helper()
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseTranscript(t *testing.T) {
+	doc := parseSample(t)
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[1]
+	if b.Name != "BenchmarkTable1HeterogeneousSim/workers=4" || b.Procs != 4 || b.NsPerOp != 4.5e6 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 436405 {
+		t.Fatalf("bad -benchmem parse: %+v", b)
+	}
+}
+
+func TestDiffRatioAndGates(t *testing.T) {
+	old := parseSample(t)
+	cur := &Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTable1HeterogeneousSim/workers=1", NsPerOp: 9e6},
+		{Name: "BenchmarkTable1HeterogeneousSim/workers=4", NsPerOp: 9e6}, // 2x regression
+		{Name: "BenchmarkNew", NsPerOp: 1},
+	}}
+
+	var b strings.Builder
+	breached := printDiff(&b, "OLD.json", old, cur, 0, 0)
+	out := b.String()
+	if len(breached) != 0 {
+		t.Fatalf("no gates set, but breached %v", breached)
+	}
+	for _, want := range []string{"ratio", "2.000", "+100.0%", "1.000", "new", "gone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A regression gate catches the 2x line; one-sided rows never breach.
+	breached = printDiff(&strings.Builder{}, "OLD.json", old, cur, 1.25, 0)
+	if len(breached) != 1 || breached[0] != "BenchmarkTable1HeterogeneousSim/workers=4" {
+		t.Fatalf("fail-above=1.25: breached %v", breached)
+	}
+
+	// A too-good-to-be-true gate catches nothing here (ratios are 1 and 2).
+	if breached = printDiff(&strings.Builder{}, "OLD.json", old, cur, 0, 0.5); len(breached) != 0 {
+		t.Fatalf("fail-below=0.5: breached %v", breached)
+	}
+	if breached = printDiff(&strings.Builder{}, "OLD.json", old, cur, 0, 1.5); len(breached) != 1 {
+		t.Fatalf("fail-below=1.5: breached %v", breached)
+	}
+}

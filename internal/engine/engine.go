@@ -440,6 +440,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if s := cfg.Metrics; s != nil {
+		if cfg.SimWorkers > 1 {
+			s.Manifest.Sim = sched.simManifest()
+		}
 		var traceDropped uint64
 		if cfg.Trace != nil {
 			traceDropped = cfg.Trace.Dropped()
@@ -509,6 +512,10 @@ type world struct {
 	cfg   Config
 	vtsch *vtime.Scheduler
 	inj   *fault.Injector
+	// planned / planDelay echo the group partition handed to the parallel
+	// scheduler (nil / 0 when none was usable), for the run manifest.
+	planned   []int
+	planDelay float64
 }
 
 func newWorld(cfg Config) *world { return &world{cfg: cfg} }
@@ -539,6 +546,8 @@ func (w *world) run(bodies []runenv.Body) float64 {
 			rcfg.Groups = groups
 			rcfg.MinDelay = minDelay
 			rcfg.SimWorkers = w.cfg.SimWorkers
+			rcfg.LinkMinDelay = w.cfg.linkMinDelay()
+			w.planned, w.planDelay = groups, minDelay
 		}
 	}
 	if s := w.cfg.Metrics; s != nil {
@@ -587,6 +596,39 @@ func (w *world) run(bodies []runenv.Body) float64 {
 
 func (w *world) timedOut() bool {
 	return w.vtsch != nil && w.vtsch.TimedOut
+}
+
+// simManifest summarizes how a SimWorkers > 1 request actually executed —
+// partition, lookahead, window shape — or why it fell back to sequential
+// execution, so a run record can never silently claim parallelism that
+// never engaged. Only called when cfg.SimWorkers > 1.
+func (w *world) simManifest() *metrics.SimManifest {
+	sm := &metrics.SimManifest{Workers: w.cfg.SimWorkers}
+	if w.vtsch == nil {
+		sm.Fallback = "real-time runtime ignores SimWorkers"
+		return sm
+	}
+	if w.planned == nil {
+		sm.Fallback = "no usable group partition (fewer than two workers or zero-latency links)"
+		return sm
+	}
+	st := w.vtsch.Stats()
+	if !st.Parallel {
+		sm.Fallback = "scheduler ran sequentially"
+		return sm
+	}
+	sm.EffWorkers = st.Workers
+	sm.Groups = st.Groups
+	sm.MinDelay = w.planDelay
+	sm.Windows = st.Windows
+	sm.DegenerateWindows = st.DegenerateWindows
+	sm.SingleGroupWindows = st.SingleGroupWindows
+	sm.Events = st.Events
+	sm.Flushes = st.Flushes
+	if st.WidthWindows > 0 {
+		sm.MeanWindowWidth = st.WidthSum / float64(st.WidthWindows)
+	}
+	return sm
 }
 
 // partition returns the initial contiguous component range of a rank:

@@ -37,7 +37,10 @@ func runArtifacts(t *testing.T, mk func() Config, workers int) artifacts {
 	if err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
 	}
-	s.Manifest.Outcome.WallSeconds = 0 // the only host-dependent field
+	s.Manifest.Outcome.WallSeconds = 0 // host-dependent
+	// The sim section describes the scheduler's own execution shape, which
+	// legitimately depends on the worker count; everything else must match.
+	s.Manifest.Sim = nil
 	var buf bytes.Buffer
 	if err := s.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)

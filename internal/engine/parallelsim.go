@@ -20,16 +20,35 @@ func (c *Config) mapRank(i int) int {
 	return i
 }
 
+// forEachUsedLink enumerates, once each, the unordered process pairs the
+// engine's protocols exchange messages on: chain neighbors (halo exchange
+// and the LB handshake), and either the detector star (central detection
+// and the SISC barrier) or the ring protocol's token edges — consecutive
+// ranks plus the closure link. Every Send the engine or the detection layer
+// issues targets one of these pairs; planGroups and the per-pair lookahead
+// bound (linkMinDelay) both derive from this single enumeration so they
+// cannot drift apart.
+func (c *Config) forEachUsedLink(fn func(i, j int)) {
+	for i := 0; i+1 < c.P; i++ {
+		fn(i, i+1)
+	}
+	if c.Mode == SISC || c.Detection != DetectRing {
+		for i := 0; i < c.P; i++ {
+			fn(i, c.P)
+		}
+	} else {
+		fn(c.P-1, 0)
+	}
+}
+
 // planGroups partitions the world's P+1 processes into execution groups and
 // returns the group assignment plus the guaranteed minimum delay of every
 // link crossing a group boundary, for runenv.Config.Groups / MinDelay. It
 // returns (nil, 0) when no partition allows concurrency (fewer than two
 // workers, or zero-latency links everywhere).
 //
-// Only links the engine actually uses constrain the partition: chain
-// neighbors (halo exchange and the LB handshake), and either the detector
-// star (central detection and the SISC barrier) or the ring protocol's
-// closure link. A link's latency lower-bounds its modeled delay — the
+// Only links the engine actually uses (forEachUsedLink) constrain the
+// partition. A link's latency lower-bounds its modeled delay — the
 // serializer only adds queuing and serialization time, and fault hooks only
 // add ExtraDelay — so the smallest cross-group latency is a sound lookahead.
 //
@@ -37,12 +56,15 @@ func (c *Config) mapRank(i int) int {
 // group per cluster node (processes co-located on a node share the delay
 // model's per-sender state and must stay together), then repeatedly merge
 // the two groups joined by the lowest-latency used link. Every partition
-// along the way is a candidate scored by lookahead × (procs / largest
-// group)²: a wider window amortizes the per-window barrier over more events,
-// while the squared parallelizability term penalizes partitions whose
-// biggest group serializes most of the work. On the homogeneous LAN this
-// keeps one group per node; on the paper's heterogeneous grid it fuses each
-// fast site into one group and buys a site-scale (milliseconds) lookahead.
+// along the way is a candidate scored by lookahead × parallelism², where
+// parallelism is procs / largest group capped at SimWorkers: a wider window
+// amortizes the per-window barrier over more events, the squared term
+// penalizes partitions whose biggest group serializes most of the work, and
+// the cap stops the score from paying for concurrency the worker budget
+// cannot exploit (with 2 workers, a 6-way split is worth no more than a
+// 2-way split with a larger lookahead). On the homogeneous LAN this keeps
+// one group per node; on the paper's heterogeneous grid it fuses each fast
+// site into one group and buys a site-scale (milliseconds) lookahead.
 func planGroups(cfg *Config) ([]int, float64) {
 	p := cfg.P
 	n := p + 1 // workers plus the detector/barrier process
@@ -56,7 +78,7 @@ func planGroups(cfg *Config) ([]int, float64) {
 	}
 	var edges []edge
 	seen := make(map[[2]int]bool)
-	add := func(i, j int) {
+	cfg.forEachUsedLink(func(i, j int) {
 		if i == j {
 			return
 		}
@@ -70,17 +92,7 @@ func planGroups(cfg *Config) ([]int, float64) {
 		seen[k] = true
 		lat := cfg.Cluster.Link(cfg.mapRank(i), cfg.mapRank(j)).Latency
 		edges = append(edges, edge{a: i, b: j, lat: lat})
-	}
-	for i := 0; i+1 < p; i++ {
-		add(i, i+1)
-	}
-	if cfg.Mode == SISC || cfg.Detection != DetectRing {
-		for i := 0; i < p; i++ {
-			add(i, p)
-		}
-	} else {
-		add(p-1, 0)
-	}
+	})
 
 	parent := make([]int, n)
 	for i := range parent {
@@ -136,6 +148,9 @@ func planGroups(cfg *Config) ([]int, float64) {
 				}
 			}
 			par := float64(n) / float64(largest)
+			if w := cfg.SimWorkers; w >= 2 && par > float64(w) {
+				par = float64(w)
+			}
 			score := minLat * par * par
 			if score > bestScore || (score == bestScore && ng > bestNG) {
 				bestGroups = make([]int, n)
@@ -151,4 +166,27 @@ func planGroups(cfg *Config) ([]int, float64) {
 		return nil, 0
 	}
 	return bestGroups, bestDelay
+}
+
+// linkMinDelay builds the per-pair delay lower bound handed to the parallel
+// scheduler (runenv.Config.LinkMinDelay): the cluster link latency for
+// pairs the engine's protocols actually use, +Inf for pairs that never
+// carry a message — no message means no lookahead constraint, which is
+// what lets the adaptive horizons grow past the global minimum latency.
+// Soundness: Serializer.Delay is the link latency plus non-negative
+// serialization and queuing time, and fault hooks only add ExtraDelay >= 0.
+func (c *Config) linkMinDelay() func(from, to int) float64 {
+	n := c.P + 1
+	used := make([]bool, n*n)
+	c.forEachUsedLink(func(i, j int) {
+		used[i*n+j] = true
+		used[j*n+i] = true
+	})
+	inf := math.Inf(1)
+	return func(from, to int) float64 {
+		if !used[from*n+to] {
+			return inf
+		}
+		return c.Cluster.Link(c.mapRank(from), c.mapRank(to)).Latency
+	}
 }

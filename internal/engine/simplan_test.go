@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aiac/internal/brusselator"
+	"aiac/internal/grid"
+	"aiac/internal/metrics"
+	"aiac/internal/rtime"
+)
+
+// TestAdaptiveLookaheadWidensWindows pins the tentpole's payoff on the
+// paper's Table 1 platform: with per-pair lookahead bounds the scheduler's
+// mean committed window must be strictly wider than the uniform MinDelay
+// floor it would be stuck at under the old global bound.
+func TestAdaptiveLookaheadWidensWindows(t *testing.T) {
+	prob := brusselator.New(func() brusselator.Params {
+		p := brusselator.DefaultParams(32, 0.05)
+		p.T = 1
+		return p
+	}())
+	cfg := baseConfig(prob, 15)
+	cfg.Cluster = grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 42})
+	cfg.Tol = 1e-6
+	cfg.MaxTime = 30
+	cfg.SimWorkers = 4
+	s := &metrics.Sink{}
+	cfg.Metrics = s
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sim := s.Manifest.Sim
+	if sim == nil {
+		t.Fatal("no sim manifest recorded for SimWorkers=4")
+	}
+	if sim.Fallback != "" {
+		t.Fatalf("unexpected fallback: %q", sim.Fallback)
+	}
+	if sim.Groups != 11 {
+		t.Fatalf("groups = %d, want 11 (the pinned heterogrid partition)", sim.Groups)
+	}
+	if sim.MinDelay != 5e-3 {
+		t.Fatalf("min delay = %g, want 5e-3", sim.MinDelay)
+	}
+	if sim.Windows <= 0 {
+		t.Fatalf("no parallel windows committed: %+v", sim)
+	}
+	if sim.Events <= 0 {
+		t.Fatalf("no events executed in windows: %+v", sim)
+	}
+	if sim.MeanWindowWidth <= sim.MinDelay {
+		t.Fatalf("mean window width %g not wider than the uniform MinDelay floor %g: %+v",
+			sim.MeanWindowWidth, sim.MinDelay, sim)
+	}
+}
+
+// TestSimManifestFallbacks pins that a SimWorkers > 1 request that cannot
+// parallelize still leaves an explanation in the run record.
+func TestSimManifestFallbacks(t *testing.T) {
+	prob, _ := smallBruss()
+
+	// P=1 has no partition with two groups.
+	cfg := baseConfig(prob, 1)
+	cfg.Cluster = grid.Homogeneous(1)
+	cfg.SimWorkers = 4
+	s := &metrics.Sink{}
+	cfg.Metrics = s
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s.Manifest.Sim == nil || s.Manifest.Sim.Fallback == "" {
+		t.Fatalf("P=1: want a recorded fallback, got %+v", s.Manifest.Sim)
+	}
+
+	// The real-time runtime cannot honor SimWorkers at all.
+	cfg = baseConfig(prob, 4)
+	cfg.Runner = rtime.Runner{Speedup: 500}
+	cfg.SimWorkers = 2
+	s = &metrics.Sink{}
+	cfg.Metrics = s
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s.Manifest.Sim == nil || s.Manifest.Sim.Fallback == "" {
+		t.Fatalf("rtime: want a recorded fallback, got %+v", s.Manifest.Sim)
+	}
+}
+
+// TestPlanGroupsProperties property-tests the partitioner across random
+// platform shapes: stable output, the co-location and detector invariants,
+// the exact cross-group lookahead floor, monotonicity of the floor in the
+// worker budget, and the score lower bound against the finest partition.
+func TestPlanGroupsProperties(t *testing.T) {
+	prob, _ := smallBruss()
+	rng := rand.New(rand.NewSource(7))
+	modes := []Mode{AIAC, SISC, SIAC, AIACGeneral}
+	for trial := 0; trial < 80; trial++ {
+		p := 2 + rng.Intn(15)
+		cfg := baseConfig(prob, p)
+		cfg.Mode = modes[rng.Intn(len(modes))]
+		if rng.Intn(2) == 0 {
+			cfg.Detection = DetectRing
+		}
+		switch rng.Intn(3) {
+		case 0:
+			cfg.Cluster = grid.Homogeneous(p)
+		case 1:
+			cfg.Cluster = grid.Heterogeneous(p, 0.3, int64(trial))
+		case 2:
+			p = 15
+			cfg.P = p
+			cfg.Cluster = grid.HeteroGrid15(grid.HeteroGridConfig{Seed: int64(trial)})
+			if rng.Intn(2) == 0 {
+				cfg.Mapping = grid.SiteOrderedMapping(cfg.Cluster)
+			}
+		}
+		cfg.SimWorkers = 2 + rng.Intn(7)
+		n := p + 1
+
+		groups, minDelay := planGroups(&cfg)
+		g2, d2 := planGroups(&cfg)
+		if !reflect.DeepEqual(groups, g2) || minDelay != d2 {
+			t.Fatalf("trial %d: planGroups is not stable: (%v,%g) vs (%v,%g)",
+				trial, groups, minDelay, g2, d2)
+		}
+		if groups == nil {
+			// All preset clusters have positive link latencies and these
+			// worlds place ranks on distinct nodes, so a partition must exist.
+			t.Fatalf("trial %d: no partition for P=%d", trial, p)
+		}
+		if len(groups) != n {
+			t.Fatalf("trial %d: %d assignments, want %d", trial, len(groups), n)
+		}
+		if minDelay <= 0 {
+			t.Fatalf("trial %d: non-positive lookahead %g", trial, minDelay)
+		}
+
+		// Co-location: processes on one node share its delay-model state
+		// and must share a group; the detector rides with rank 0's node.
+		byNode := map[int]int{}
+		for i := 0; i < n; i++ {
+			node := cfg.mapRank(i)
+			if first, ok := byNode[node]; ok {
+				if groups[first] != groups[i] {
+					t.Fatalf("trial %d: ranks %d and %d share node %d but not a group",
+						trial, first, i, node)
+				}
+			} else {
+				byNode[node] = i
+			}
+		}
+		if groups[p] != groups[0] {
+			t.Fatalf("trial %d: detector not grouped with rank 0", trial)
+		}
+		ng := countGroups(groups)
+		if ng < 2 {
+			t.Fatalf("trial %d: only %d group(s)", trial, ng)
+		}
+
+		// The floor is exactly the cheapest used link that crosses a group
+		// boundary — equivalently, every used link cheaper than the floor
+		// was fused inside a group, never split across one.
+		crossMin := math.Inf(1)
+		cfg.forEachUsedLink(func(i, j int) {
+			if groups[i] == groups[j] {
+				return
+			}
+			if lat := cfg.Cluster.Link(cfg.mapRank(i), cfg.mapRank(j)).Latency; lat < crossMin {
+				crossMin = lat
+			}
+		})
+		if crossMin != minDelay {
+			t.Fatalf("trial %d: cheapest cross-group used link %g != reported floor %g",
+				trial, crossMin, minDelay)
+		}
+
+		// Score/balance bound: the finest candidate (one group per node) is
+		// always on the greedy chain, so the chosen partition must score at
+		// least as well under lookahead x min(parallelism, workers)^2.
+		cap2 := func(par float64) float64 {
+			if w := float64(cfg.SimWorkers); par > w {
+				par = w
+			}
+			return par * par
+		}
+		sizes := map[int]int{}
+		for _, g := range groups {
+			sizes[g]++
+		}
+		largest := 0
+		for _, sz := range sizes {
+			if sz > largest {
+				largest = sz
+			}
+		}
+		fineLargest := 0
+		perNode := map[int]int{}
+		fineMin := math.Inf(1)
+		for i := 0; i < n; i++ {
+			perNode[cfg.mapRank(i)]++
+		}
+		for _, sz := range perNode {
+			if sz > fineLargest {
+				fineLargest = sz
+			}
+		}
+		cfg.forEachUsedLink(func(i, j int) {
+			if cfg.mapRank(i) == cfg.mapRank(j) {
+				return
+			}
+			if lat := cfg.Cluster.Link(cfg.mapRank(i), cfg.mapRank(j)).Latency; lat < fineMin {
+				fineMin = lat
+			}
+		})
+		if len(perNode) >= 2 && fineMin > 0 && !math.IsInf(fineMin, 1) {
+			chosen := minDelay * cap2(float64(n)/float64(largest))
+			finest := fineMin * cap2(float64(n)/float64(fineLargest))
+			if chosen < finest {
+				t.Fatalf("trial %d: chosen partition scores %g below the finest candidate %g",
+					trial, chosen, finest)
+			}
+		}
+
+		// Honoring SimWorkers: shrinking the worker budget can only push the
+		// choice toward wider lookahead (coarser or equal partitions).
+		lo, hi := cfg, cfg
+		lo.SimWorkers, hi.SimWorkers = 2, 16
+		_, dLo := planGroups(&lo)
+		_, dHi := planGroups(&hi)
+		if dLo < dHi {
+			t.Fatalf("trial %d: lookahead floor shrank when the worker budget shrank: w=2 %g < w=16 %g",
+				trial, dLo, dHi)
+		}
+	}
+}

@@ -16,11 +16,15 @@ type Manifest struct {
 	Name string `json:"name,omitempty"`
 	// CreatedAt is the wall-clock start time (RFC 3339).
 	CreatedAt string `json:"created_at,omitempty"`
-	// Host environment.
-	GitRev    string `json:"git_rev,omitempty"`
-	GoVersion string `json:"go_version,omitempty"`
-	OS        string `json:"os,omitempty"`
-	Arch      string `json:"arch,omitempty"`
+	// Host environment. NumCPU / GoMaxProcs make speedup claims from
+	// SimWorkers runs interpretable across hosts: a "no speedup" record
+	// from a single-core runner is expected, not a regression.
+	GitRev     string `json:"git_rev,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	OS         string `json:"os,omitempty"`
+	Arch       string `json:"arch,omitempty"`
+	NumCPU     int    `json:"num_cpu,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
 
 	// Configuration echo. Problem/Cluster names are set by the caller (the
 	// engine only sees interfaces); everything else is filled by engine.Run.
@@ -45,8 +49,45 @@ type Manifest struct {
 	// iteration).
 	MetricsPeriod float64 `json:"metrics_period,omitempty"`
 
+	// Sim records how a SimWorkers > 1 request executed (set by the engine
+	// when within-run parallelism was asked for; nil otherwise).
+	Sim *SimManifest `json:"sim,omitempty"`
+
 	// Outcome is sealed by FinishRun when the run completes.
 	Outcome *Outcome `json:"outcome,omitempty"`
+}
+
+// SimManifest describes how the parallel virtual-time scheduler executed a
+// run: the partition and lookahead it planned, the window shape it achieved
+// — or, via Fallback, why the run was sequential after all. Degenerate and
+// single-group window counts make "parallelism never kicked in" visible in
+// the run record instead of silent.
+type SimManifest struct {
+	// Workers is the requested SimWorkers; EffWorkers the worker
+	// goroutines actually used (capped at the number of groups).
+	Workers    int `json:"workers"`
+	EffWorkers int `json:"effective_workers,omitempty"`
+	// Groups is the number of execution groups planned; MinDelay the
+	// guaranteed minimum cross-group delay (the uniform lookahead floor —
+	// the adaptive horizons are at least this wide).
+	Groups   int     `json:"groups,omitempty"`
+	MinDelay float64 `json:"min_delay,omitempty"`
+	// Fallback, when non-empty, explains why the run executed
+	// sequentially despite SimWorkers > 1.
+	Fallback string `json:"fallback,omitempty"`
+	// Windows counts committed parallel windows; DegenerateWindows the
+	// single-event fallback rounds (rounding collapsed every horizon);
+	// SingleGroupWindows the windows with exactly one runnable group.
+	Windows            int64 `json:"windows,omitempty"`
+	DegenerateWindows  int64 `json:"degenerate_windows,omitempty"`
+	SingleGroupWindows int64 `json:"single_group_windows,omitempty"`
+	// Events counts events executed inside windows; MeanWindowWidth is
+	// the mean safe lookahead achieved (virtual seconds; the uniform
+	// MinDelay bound is the baseline); Flushes the deferred side-effect
+	// replay passes.
+	Events          int64   `json:"events,omitempty"`
+	MeanWindowWidth float64 `json:"mean_window_width,omitempty"`
+	Flushes         int64   `json:"side_effect_flushes,omitempty"`
 }
 
 // LBManifest echoes a load-balancing policy.
@@ -102,6 +143,12 @@ func (m *Manifest) FillHost() {
 	}
 	if m.GitRev == "" {
 		m.GitRev = vcsRevision()
+	}
+	if m.NumCPU == 0 {
+		m.NumCPU = runtime.NumCPU()
+	}
+	if m.GoMaxProcs == 0 {
+		m.GoMaxProcs = runtime.GOMAXPROCS(0)
 	}
 }
 

@@ -159,6 +159,43 @@ func TestResample(t *testing.T) {
 	}
 }
 
+func TestRenderSimSection(t *testing.T) {
+	m := metrics.Manifest{
+		Name:       "par",
+		NumCPU:     4,
+		GoMaxProcs: 4,
+		GoVersion:  "go0.0",
+		OS:         "any",
+		Arch:       "any",
+		CreatedAt:  "2026-01-01T00:00:00Z",
+		Sim: &metrics.SimManifest{
+			Workers: 4, EffWorkers: 4, Groups: 11, MinDelay: 5e-3,
+			Windows: 200, SingleGroupWindows: 3, DegenerateWindows: 1,
+			Events: 1000, MeanWindowWidth: 9e-3, Flushes: 2,
+		},
+	}
+	out := Render(&metrics.Run{Manifest: m}, Options{})
+	for _, want := range []string{
+		"4 cpus, gomaxprocs 4",
+		"sim: 4 workers over 11 groups",
+		"lookahead floor 0.005 s",
+		"mean width 0.009 s",
+		"5 events/window",
+		"1 degenerate",
+		"3 single-group",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	m.Sim = &metrics.SimManifest{Workers: 2, Fallback: "no usable group partition"}
+	out = Render(&metrics.Run{Manifest: m}, Options{})
+	if !strings.Contains(out, "sim: 2 workers requested, sequential (no usable group partition)") {
+		t.Errorf("fallback rendering:\n%s", out)
+	}
+}
+
 func TestRenderEmptyRun(t *testing.T) {
 	// a manifest-only file (run crashed before any samples) must not panic
 	out := Render(&metrics.Run{Manifest: metrics.Manifest{Name: "empty"}}, Options{})

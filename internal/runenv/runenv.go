@@ -141,6 +141,19 @@ type Config struct {
 	// independent across groups and run concurrently. 0 (the default)
 	// disables parallel execution.
 	MinDelay float64
+	// LinkMinDelay, when non-nil, refines MinDelay per ordered process
+	// pair: it must return a lower bound on Delay (plus any FaultHook
+	// ExtraDelay) for every message from process `from` to process `to`,
+	// and may return +Inf for pairs that never exchange messages — no
+	// message means no lookahead constraint. Values below MinDelay are
+	// clamped up to it (both are asserted lower bounds, so the tighter one
+	// wins). The parallel scheduler folds the pair bounds into a min-plus
+	// closure over the group graph and derives a per-group safe horizon
+	// from each peer's earliest pending event, which widens windows far
+	// beyond the uniform MinDelay bound on platforms whose links differ.
+	// The function must be pure and is only consulted during setup.
+	// Ignored when nil (every cross-group pair is bounded by MinDelay).
+	LinkMinDelay func(from, to int) float64
 	// Groups assigns each process to an execution group; processes in the
 	// same group are always executed sequentially relative to each other,
 	// so links inside a group are exempt from the MinDelay bound (and

@@ -1,6 +1,7 @@
 package vtime
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -49,10 +50,14 @@ type scenario struct {
 	groups   []int
 	minDelay float64
 	lat      [][]float64
-	faults   bool
-	maxTime  float64
-	rounds   int
-	seed     int64
+	// linkBounds hands the scheduler the exact per-pair latency as
+	// Config.LinkMinDelay, exercising the adaptive per-group horizons
+	// (min-plus closure) instead of the uniform MinDelay bound.
+	linkBounds bool
+	faults     bool
+	maxTime    float64
+	rounds     int
+	seed       int64
 }
 
 func mkScenario(seed int64) scenario {
@@ -77,9 +82,10 @@ func mkScenario(seed int64) scenario {
 	}
 	sc := scenario{
 		n: n, groups: groups, minDelay: minDelay, lat: lat,
-		faults: rng.Intn(2) == 0,
-		rounds: 25 + rng.Intn(25),
-		seed:   seed,
+		linkBounds: rng.Intn(2) == 0,
+		faults:     rng.Intn(2) == 0,
+		rounds:     25 + rng.Intn(25),
+		seed:       seed,
 	}
 	if rng.Intn(3) == 0 {
 		sc.maxTime = 0.02 + rng.Float64()*0.05 // likely to trip TimedOut
@@ -126,6 +132,9 @@ func (sc scenario) run(t *testing.T, workers int) worldResult {
 		Groups:       sc.groups,
 		SimWorkers:   workers,
 		EventCapHint: 64,
+	}
+	if sc.linkBounds {
+		cfg.LinkMinDelay = func(from, to int) float64 { return sc.lat[from][to] }
 	}
 	if sc.faults {
 		cfg.FaultHook = pureFaults
@@ -333,6 +342,104 @@ func TestParallelHorizonViolationPanics(t *testing.T) {
 		},
 		func(env runenv.Env) { env.Sleep(2.5) },
 	})
+}
+
+// TestParallelAdaptiveChainStats: a feed-forward chain (0 → 1 → 2) with
+// per-pair bounds and +Inf on unused pairs. The adaptive horizons must (a)
+// stay bit-identical to the sequential run and (b) achieve a mean window
+// width strictly above the uniform MinDelay floor — the chain's real
+// latencies (5 ms and 8 ms) dominate the 2 ms floor, and pairs that never
+// carry a message must not constrain anyone.
+func TestParallelAdaptiveChainStats(t *testing.T) {
+	lat := [][]float64{
+		{0, 5e-3, math.Inf(1)},
+		{4e-3, 0, 8e-3},
+		{math.Inf(1), math.Inf(1), 0},
+	}
+	delay := func(from, to, _ int, _ float64) float64 {
+		if math.IsInf(lat[from][to], 1) {
+			return 0 // never used; a lie here must not matter
+		}
+		return lat[from][to]
+	}
+	run := func(workers int) (worldResult, Stats) {
+		log := &trace.Log{}
+		rec := &obsRecorder{}
+		recvd := make([][]runenv.Msg, 3)
+		cfg := runenv.Config{
+			Seed: 5, Trace: log, Observer: rec,
+			Delay:        delay,
+			MinDelay:     2e-3,
+			LinkMinDelay: func(from, to int) float64 { return lat[from][to] },
+			Groups:       []int{0, 1, 2},
+			SimWorkers:   workers,
+		}
+		const rounds = 40
+		bodies := []runenv.Body{
+			func(env runenv.Env) {
+				// Paced by acks so the source cannot run arbitrarily far
+				// ahead — horizons stay finite and widths measurable.
+				for k := 0; k < rounds; k++ {
+					env.Work(1e-3)
+					env.Send(1, k, k, 16)
+					m, ok := env.RecvWait()
+					if !ok {
+						return
+					}
+					recvd[0] = append(recvd[0], m)
+				}
+			},
+			func(env runenv.Env) {
+				for k := 0; k < rounds; k++ {
+					m, ok := env.RecvWait()
+					if !ok {
+						return
+					}
+					recvd[1] = append(recvd[1], m)
+					env.Work(5e-4)
+					env.Send(2, k, m.Payload, 16)
+					env.Send(0, k, k, 16)
+				}
+			},
+			func(env runenv.Env) {
+				for k := 0; k < rounds; k++ {
+					m, ok := env.RecvWait()
+					if !ok {
+						return
+					}
+					recvd[2] = append(recvd[2], m)
+				}
+			},
+		}
+		s := New(cfg)
+		end := s.Run(bodies)
+		clocks := make([]float64, 3)
+		for i, p := range s.procs {
+			clocks[i] = p.clock
+		}
+		return worldResult{end: end, clocks: clocks, recvd: recvd, obs: rec.calls,
+			traces: log.Events(), deadlocked: s.Deadlocked, timedOut: s.TimedOut}, s.Stats()
+	}
+	seq, seqStats := run(1)
+	if seqStats.Parallel {
+		t.Fatal("workers=1 must run sequentially")
+	}
+	for _, w := range []int{2, 3} {
+		par, st := run(w)
+		requireIdentical(t, seq, par, "chain")
+		if !st.Parallel {
+			t.Fatalf("workers=%d: parallel mode did not engage", w)
+		}
+		if st.Windows == 0 || st.Events == 0 {
+			t.Fatalf("workers=%d: no windowed execution recorded: %+v", w, st)
+		}
+		if st.WidthWindows == 0 {
+			t.Fatalf("workers=%d: no finite window widths measured: %+v", w, st)
+		}
+		if mean := st.WidthSum / float64(st.WidthWindows); mean <= 2e-3 {
+			t.Fatalf("workers=%d: mean window width %g not above the 2e-3 uniform floor", w, mean)
+		}
+	}
 }
 
 // TestParallelFallsBackWhenIneligible: without MinDelay or groups the

@@ -200,13 +200,21 @@ type group struct {
 	// outbox buffers events destined for other groups during a parallel
 	// window; they are routed at commit. Always empty in sequential mode.
 	outbox []event
-	// obsBuf / traceBuf hold this window's side effects in processing
-	// order; the commit merges them across groups into the exact sequential
-	// order. Heads index the next unmerged entry.
+	// obsBuf / traceBuf hold buffered side effects in processing order;
+	// the deferred flush merges them across groups into the exact
+	// sequential order (see flushSideEffects in parallel.go). Heads index
+	// the next unmerged entry. A group's records may stay buffered across
+	// several windows: within one group they are always key-sorted, so the
+	// k-way merge can be deferred until the safe frontier passes them.
 	obsBuf    []obsRecord
 	obsHead   int
 	traceBuf  []traceRecord
 	traceHead int
+	// horizon is this group's exclusive event-time bound for the current
+	// parallel window (written by the coordinator between windows).
+	horizon float64
+	// nexec counts events this group executed inside parallel windows.
+	nexec int64
 }
 
 // Scheduler is a single-use deterministic world. Create one with New, then
@@ -338,6 +346,9 @@ func (s *Scheduler) setup(bodies []runenv.Body) {
 	for i, p := range s.procs {
 		p.grp = s.groups[gids[i]]
 		p.grp.procs = append(p.grp.procs, p)
+	}
+	if s.parallel {
+		s.buildLookahead()
 	}
 }
 
