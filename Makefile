@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-diff bench-par check test-faults test-par fmt-check report critpath cover
+.PHONY: build test vet race bench bench-json bench-diff bench-par check test-faults test-par test-dist fmt-check report critpath cover
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,15 @@ test-faults:
 	$(GO) test ./internal/loadbalance/ -run 'FuzzLBHandshake'
 	$(GO) test ./internal/engine/ -run 'TestFault|TestZeroRatePlan|TestSyncModeStalls|TestGoldenSeed'
 
+# The distributed backend acceptance grid over TCP loopback, all under
+# -race: the dtime protocol and lifecycle suite (frame codec, crash and
+# heartbeat supervision), the wire-level fault-conn pins, and the engine's
+# cross-backend equivalence + wire-invariant grid (see DESIGN.md §11).
+test-dist:
+	$(GO) test -race -timeout 30m ./internal/dtime/
+	$(GO) test -race -timeout 30m ./internal/fault/ -run 'TestConn'
+	$(GO) test -race -timeout 30m ./internal/engine/ -run 'TestDist'
+
 # Coverage gate: the trace layer (causal schema, Chrome export, critical-path
 # analysis) must stay >= 80% covered.
 COVER_MIN ?= 80
@@ -100,4 +109,4 @@ cover:
 	awk -v p="$$pct" -v min="$(COVER_MIN)" 'BEGIN {exit !(p+0 < min+0)}' && \
 		{ echo "FAIL: internal/trace coverage $$pct% < $(COVER_MIN)%"; exit 1; } || true
 
-check: build fmt-check vet test test-faults test-par race
+check: build fmt-check vet test test-faults test-par test-dist race

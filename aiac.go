@@ -41,8 +41,10 @@ package aiac
 
 import (
 	"io"
+	"net"
 
 	"aiac/internal/brusselator"
+	"aiac/internal/dtime"
 	"aiac/internal/engine"
 	"aiac/internal/fault"
 	"aiac/internal/grid"
@@ -356,8 +358,78 @@ func AnalyzeCriticalPath(events []TraceEvent) *CriticalPath { return trace.Analy
 // the on-path/off-path LB transfer classification.
 func RenderCriticalPath(cp *CriticalPath, topN int) string { return report.CriticalPath(cp, topN) }
 
+// DistOptions configures a distributed multi-process run for SolveDist:
+// worker count, the spawn callback (DistSpawnCommand for real OS
+// processes), run identity/root and coordinator supervision bounds.
+type DistOptions = engine.DistOptions
+
+// DistWorkerOptions configures the worker-process half of a distributed
+// run for SolveDistWorker.
+type DistWorkerOptions = engine.DistWorkerOptions
+
+// DistWorkerEnv identifies one worker's share of a distributed run: the
+// coordinator address, run/state directories and hosted ranks. It travels
+// to spawned workers in the DistEnvVar environment variable.
+type DistWorkerEnv = dtime.WorkerEnv
+
+// DistProcess is a spawned worker process handle.
+type DistProcess = dtime.Process
+
+// DistRunInfo is the coordinator's record of a distributed run: run id and
+// directory, worker identities, and the federated end time.
+type DistRunInfo = dtime.RunInfo
+
+// DistWorkerInfo identifies one worker of a DistRunInfo.
+type DistWorkerInfo = dtime.WorkerInfo
+
+// DistWorkerError is the typed error SolveDist returns when one worker
+// crashes or goes silent past the heartbeat deadline.
+type DistWorkerError = dtime.WorkerError
+
+// DistEnvVar is the environment variable carrying the encoded
+// DistWorkerEnv to a spawned worker process. A binary that finds it set
+// should decode it with DecodeDistWorkerEnv and call SolveDistWorker
+// instead of running its normal path (cmd/aiacrun does exactly this).
+const DistEnvVar = dtime.EnvVar
+
+// SolveDist runs the configured solver across worker OS processes — node
+// groups exchanging halo, load-balancing and detection messages over TCP —
+// and assembles the same global Result Solve produces in process.
+func SolveDist(cfg Config, opts DistOptions) (*Result, *DistRunInfo, error) {
+	return engine.RunDist(cfg, opts)
+}
+
+// SolveDistWorker executes this process's share of a distributed run; the
+// Config must match the coordinator's on every worker.
+func SolveDistWorker(cfg Config, wenv DistWorkerEnv, opts DistWorkerOptions) error {
+	return engine.RunDistWorker(cfg, wenv, opts)
+}
+
+// DecodeDistWorkerEnv decodes the DistEnvVar value of a worker process.
+func DecodeDistWorkerEnv(s string) (DistWorkerEnv, error) { return dtime.DecodeWorkerEnv(s) }
+
+// DistSpawnCommand returns a DistOptions.Spawn callback launching argv as
+// each worker process, with the worker's DistWorkerEnv in DistEnvVar and
+// its combined output captured as worker.log in its state directory. Pass
+// os.Args to re-exec the current binary.
+func DistSpawnCommand(argv []string) func(DistWorkerEnv) (DistProcess, error) {
+	return dtime.SpawnCommand(argv)
+}
+
+// FaultInjector is a compiled FaultPlan; see DistFaultConn.
+type FaultInjector = fault.Injector
+
+// DistFaultConn builds the fault-injecting connection wrapper for a worker
+// of a faulted distributed run (nil, nil when cfg.Faults is empty): assign
+// the returns to DistWorkerOptions.WrapConn and WireFaults. speedup must
+// match DistWorkerOptions.Speedup.
+func DistFaultConn(cfg Config, speedup float64) (func(net.Conn) net.Conn, *FaultInjector) {
+	return engine.DistFaultConn(cfg, speedup)
+}
+
 // ObsServer is the live observability HTTP server: /metrics (Prometheus
-// text), /healthz (run phase + current max residual) and /debug/pprof/*.
+// text), /healthz (run phase + current max residual), /manifest (the run
+// manifest as JSON) and /debug/pprof/*.
 type ObsServer = obs.Server
 
 // ServeObs starts an ObsServer for the sink on addr (e.g. ":8080"); close it

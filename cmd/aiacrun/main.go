@@ -7,12 +7,19 @@
 //	aiacrun -mode sisc -p 4 -problem poisson -n 128 -tol 1e-10
 //	aiacrun -mode aiac -p 15 -cluster grid15 -lb -trace
 //	aiacrun -mode aiac -p 8 -lb -faults drop=0.05,dup=0.02,scope=lb -fault-seed 7
+//	aiacrun -mode aiac -p 4 -backend dist -procs 4 -lb
+//
+// With -backend dist the solve spans worker OS processes: aiacrun re-execs
+// itself once per worker (the hidden worker mode is selected by the
+// AIAC_DTIME_WORKER environment variable), coordinates them over TCP, and
+// assembles the same result a single-process run produces.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -42,8 +49,11 @@ func main() {
 		ring        = flag.Bool("ring", false, "use decentralized ring convergence detection")
 		gs          = flag.Bool("gs", false, "use local Gauss-Seidel sweeps (default: local Jacobi)")
 		jsonOut     = flag.Bool("json", false, "print the result digest as JSON")
-		real        = flag.Bool("real", false, "run on the real goroutine runtime instead of virtual time")
-		speedup     = flag.Float64("speedup", 50, "real runtime: model seconds per wall second")
+		real        = flag.Bool("real", false, "run on the real goroutine runtime instead of virtual time (alias of -backend rtime)")
+		backendName = flag.String("backend", "", "execution backend: vtime (default), rtime, dist (multi-process over TCP)")
+		procs       = flag.Int("procs", 2, "dist backend: number of worker OS processes")
+		distRoot    = flag.String("dist-root", "", "dist backend: directory holding the per-run state directories (default: the system temp dir)")
+		speedup     = flag.Float64("speedup", 50, "real/dist runtime: model seconds per wall second")
 		showTrace   = flag.Bool("trace", false, "render an execution Gantt chart (see -trace-iters)")
 		traceIters  = flag.Int("trace-iters", 12, "iterations covered by -trace (0 = all; trace exports default to all)")
 		traceCSV    = flag.String("trace-csv", "", "write the causally-tagged execution trace to this CSV file")
@@ -153,9 +163,45 @@ func main() {
 		cfg.Detection = aiac.DetectRing
 	}
 	cfg.GaussSeidelLocal = *gs
-	if *real {
+
+	backend := strings.ToLower(*backendName)
+	if backend == "" {
+		backend = "vtime"
+		if *real {
+			backend = "rtime"
+		}
+	}
+	switch backend {
+	case "vtime":
+	case "rtime":
 		cfg.Runner = aiac.RealRunner(*speedup)
 		cfg.MaxTime = 1e6
+	case "dist":
+		// Workers pace themselves like rtime; the watchdog bound keeps a
+		// diverging distributed run from hanging forever.
+		cfg.MaxTime = 1e6
+	default:
+		fatalf("unknown backend %q (want vtime, rtime or dist)", backend)
+	}
+
+	// Hidden worker mode: a dist coordinator re-execs this binary with the
+	// worker identity in the environment. The flags above rebuilt the exact
+	// Config the coordinator holds; everything past this point (tracing,
+	// profiles, result printing) is coordinator business.
+	if env := os.Getenv(aiac.DistEnvVar); env != "" {
+		runDistWorker(env, cfg, *speedup, *metricsOut != "", *httpAddr != "", func(sink *aiac.MetricsSink) {
+			sink.Period = *metricsPer
+			sink.Manifest.Name = "aiacrun"
+			sink.Manifest.Problem = fmt.Sprintf("%s-%d", strings.ToLower(*problemName), *n)
+			sink.Manifest.Cluster = strings.ToLower(*clusterName)
+			if *faults != "" {
+				sink.Manifest.FaultSpec = *faults
+			}
+		})
+		return
+	}
+	if backend == "dist" && (*showTrace || *traceCSV != "" || *traceChrome != "" || *critPath) {
+		fatalf("tracing needs an in-process backend; the dist workers keep no shared trace log")
 	}
 
 	var log *aiac.TraceLog
@@ -215,7 +261,18 @@ func main() {
 		cpuFile = f
 	}
 
-	res, err := aiac.Solve(cfg)
+	var res *aiac.Result
+	var dinfo *aiac.DistRunInfo
+	var err error
+	if backend == "dist" {
+		res, dinfo, err = aiac.SolveDist(cfg, aiac.DistOptions{
+			Workers: *procs,
+			Spawn:   aiac.DistSpawnCommand(os.Args),
+			RunRoot: *distRoot,
+		})
+	} else {
+		res, err = aiac.Solve(cfg)
+	}
 
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -224,7 +281,21 @@ func main() {
 		}
 	}
 	if err != nil {
+		if dinfo != nil && dinfo.RunDir != "" {
+			fmt.Fprintf(os.Stderr, "aiacrun: worker logs under %s\n", dinfo.RunDir)
+		}
 		fatalf("%v", err)
+	}
+	if dinfo != nil {
+		fmt.Fprintf(os.Stderr, "aiacrun: distributed run %s: %d worker processes, run dir %s\n",
+			dinfo.RunID, len(dinfo.Workers), dinfo.RunDir)
+		for _, w := range dinfo.Workers {
+			extra := ""
+			if w.ObsAddr != "" {
+				extra = " obs http://" + w.ObsAddr
+			}
+			fmt.Fprintf(os.Stderr, "aiacrun:   worker %d pid %d ranks %v%s\n", w.Worker, w.Pid, w.Ranks, extra)
+		}
 	}
 
 	if obsSrv != nil {
@@ -252,17 +323,32 @@ func main() {
 	}
 
 	if sink != nil && *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fatalf("%v", err)
+		// A distributed run's telemetry lives in the workers; prefer the
+		// coordinator's federated merge (written into the run directory by
+		// SolveDist) over the coordinator's own sample-less sink.
+		if dinfo != nil {
+			fed := filepath.Join(dinfo.RunDir, "metrics.jsonl")
+			if b, rerr := os.ReadFile(fed); rerr == nil {
+				if werr := os.WriteFile(*metricsOut, b, 0o644); werr != nil {
+					fatalf("%v", werr)
+				}
+				fmt.Fprintf(os.Stderr, "aiacrun: federated telemetry written to %s\n", *metricsOut)
+				sink = nil
+			}
 		}
-		if err := sink.WriteJSONL(f); err != nil {
-			fatalf("writing %s: %v", *metricsOut, err)
+		if sink != nil {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := sink.WriteJSONL(f); err != nil {
+				fatalf("writing %s: %v", *metricsOut, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", *metricsOut, err)
+			}
+			fmt.Fprintf(os.Stderr, "aiacrun: telemetry written to %s\n", *metricsOut)
 		}
-		if err := f.Close(); err != nil {
-			fatalf("closing %s: %v", *metricsOut, err)
-		}
-		fmt.Fprintf(os.Stderr, "aiacrun: telemetry written to %s\n", *metricsOut)
 	}
 
 	if *traceCSV != "" {
@@ -284,8 +370,12 @@ func main() {
 		return
 	}
 
-	fmt.Printf("mode %s on %s (%d nodes), problem %s n=%d\n",
-		cfg.Mode, *clusterName, *p, *problemName, *n)
+	backendNote := ""
+	if dinfo != nil {
+		backendNote = fmt.Sprintf(", dist over %d processes", len(dinfo.Workers))
+	}
+	fmt.Printf("mode %s on %s (%d nodes), problem %s n=%d%s\n",
+		cfg.Mode, *clusterName, *p, *problemName, *n, backendNote)
 	fmt.Printf("  execution time   %.4f s (virtual)\n", res.Time)
 	fmt.Printf("  converged        %v (max residual %.3g)\n", res.Converged, res.MaxResidual)
 	fmt.Printf("  node iterations  %v\n", res.NodeIters)
@@ -308,6 +398,40 @@ func main() {
 	if *critPath {
 		fmt.Println()
 		fmt.Print(aiac.RenderCriticalPath(aiac.AnalyzeCriticalPath(log.Events()), 10))
+	}
+}
+
+// runDistWorker is the hidden worker mode of the dist backend: decode the
+// identity the coordinator put in the environment, join its run, solve the
+// locally hosted ranks, and exit. cfg was rebuilt from the same flags the
+// coordinator parsed, so every process holds an identical configuration.
+// fillManifest applies the coordinator's manifest naming to this worker's
+// sink so the sidecars and the /manifest endpoint describe the same run.
+func runDistWorker(env string, cfg aiac.Config, speedup float64, exportMetrics, serveObs bool, fillManifest func(*aiac.MetricsSink)) {
+	wenv, err := aiac.DecodeDistWorkerEnv(env)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := aiac.DistWorkerOptions{Speedup: speedup, ExportMetrics: exportMetrics}
+	opts.WrapConn, opts.WireFaults = aiac.DistFaultConn(cfg, speedup)
+	if exportMetrics || serveObs {
+		sink := &aiac.MetricsSink{}
+		fillManifest(sink)
+		cfg.Metrics = sink
+		if serveObs {
+			// Each worker serves its own observability plane on an
+			// ephemeral loopback port and reports the address to the
+			// coordinator, which prints it in the run summary.
+			srv, oerr := aiac.ServeObs("127.0.0.1:0", sink)
+			if oerr != nil {
+				fatalf("worker %d: %v", wenv.Worker, oerr)
+			}
+			opts.ObsAddr = srv.Addr()
+			defer srv.Close(2 * time.Second)
+		}
+	}
+	if err := aiac.SolveDistWorker(cfg, wenv, opts); err != nil {
+		fatalf("worker %d: %v", wenv.Worker, err)
 	}
 }
 

@@ -1,0 +1,150 @@
+package dtime
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"aiac/internal/runenv"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range payloads {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, FrameMsg, p); err != nil {
+			t.Fatal(err)
+		}
+		wire := buf.Bytes()
+		typ, got, err := ReadFrame(bytes.NewReader(wire), 0)
+		if err != nil || typ != FrameMsg || !bytes.Equal(got, p) {
+			t.Fatalf("ReadFrame(%d bytes) = %d, %q, %v", len(p), typ, got, err)
+		}
+		typ, got, n, err := DecodeFrame(wire, 0)
+		if err != nil || typ != FrameMsg || !bytes.Equal(got, p) || n != len(wire) {
+			t.Fatalf("DecodeFrame(%d bytes) = %d, %q, %d, %v", len(p), typ, got, n, err)
+		}
+		if fl, err := FrameLen(wire, 0); err != nil || fl != len(wire) {
+			t.Fatalf("FrameLen = %d, %v, want %d", fl, err, len(wire))
+		}
+	}
+}
+
+// TestFrameMalformed pins every decoder error path: truncation at each
+// layer, an oversized or undersized length prefix, and a bad version byte
+// must all come back as errors — never as panics or silent misparses.
+func TestFrameMalformed(t *testing.T) {
+	good := AppendFrame(nil, FrameMsg, []byte("payload"))
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty stream", nil, io.EOF},
+		{"cut in length prefix", good[:2], io.ErrUnexpectedEOF},
+		{"cut after length prefix", good[:4], io.ErrUnexpectedEOF},
+		{"cut mid payload", good[:len(good)-3], io.ErrUnexpectedEOF},
+		{"length below trailers", binary.BigEndian.AppendUint32(nil, 1), ErrFrameTooShort},
+		{"oversized length", binary.BigEndian.AppendUint32(nil, MaxFrame+1), ErrFrameTooLarge},
+		{"bad version", func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = FrameVersion + 9
+			return b
+		}(), ErrBadVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadFrame(bytes.NewReader(tc.buf), 0)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("ReadFrame error = %v, want %v", err, tc.want)
+			}
+			_, _, _, err = DecodeFrame(tc.buf, 0)
+			wantDec := tc.want
+			if wantDec == io.EOF {
+				// The in-memory decoder cannot tell a clean boundary from a
+				// cut: both are "need more bytes".
+				wantDec = io.ErrUnexpectedEOF
+			}
+			if !errors.Is(err, wantDec) {
+				t.Errorf("DecodeFrame error = %v, want %v", err, wantDec)
+			}
+		})
+	}
+
+	// FrameLen validates only the prefix: truncation is "not yet", never
+	// an error, so the conn wrapper keeps buffering.
+	for _, buf := range [][]byte{nil, good[:3], good[:6]} {
+		if n, err := FrameLen(buf, 0); err != nil && len(buf) < 4 {
+			t.Errorf("FrameLen(%d bytes) = %d, %v, want 0, nil", len(buf), n, err)
+		}
+	}
+	if _, err := FrameLen(binary.BigEndian.AppendUint32(nil, MaxFrame+1), 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("FrameLen oversized error = %v", err)
+	}
+}
+
+// FuzzFrameCodec feeds arbitrary bytes to every frame decoder. The codec
+// contract under fuzzing: decoders return errors on garbage — they never
+// panic, never over-read, and on success the re-encoded frame is
+// bit-identical to the bytes consumed.
+func FuzzFrameCodec(f *testing.F) {
+	f.Add(AppendFrame(nil, FrameHello, []byte(`{"worker":1}`)))
+	f.Add(AppendFrame(nil, FrameMsg, bytes.Repeat([]byte{7}, 64)))
+	f.Add(AppendFrame(nil, FrameHeartbeat, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, FrameVersion})
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrame+1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, n, err := DecodeFrame(data, 0)
+		rtyp, rpayload, rerr := ReadFrame(bytes.NewReader(data), 0)
+		if err != nil {
+			// The two decoders agree on rejection, modulo the stream
+			// decoder distinguishing clean EOF from truncation.
+			if rerr == nil {
+				t.Fatalf("DecodeFrame rejected (%v) what ReadFrame accepted", err)
+			}
+			return
+		}
+		if n < len(payload) || n > len(data) {
+			t.Fatalf("DecodeFrame consumed %d of %d bytes, payload %d", n, len(data), len(payload))
+		}
+		if rerr != nil || rtyp != typ || !bytes.Equal(rpayload, payload) {
+			t.Fatalf("decoders disagree: (%d, %q) vs (%d, %q, %v)", typ, payload, rtyp, rpayload, rerr)
+		}
+		if fl, flerr := FrameLen(data, 0); flerr != nil || fl != n {
+			t.Fatalf("FrameLen = %d, %v, want %d", fl, flerr, n)
+		}
+		if re := AppendFrame(nil, typ, payload); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode changed bytes:\n%x\n%x", re, data[:n])
+		}
+	})
+}
+
+// FuzzEnvelope fuzzes the message-envelope decoder the same way: errors,
+// not panics, and header peeks consistent with full decodes.
+func FuzzEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeEnvelope(runenv.Msg{From: 1, To: 2, Kind: 3, Bytes: 100, SendT: 0.5, Seq: 7}, []byte("body")))
+	f.Add(encodeEnvelope(runenv.Msg{}, nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, payload, err := decodeEnvelope(data)
+		from, to, kind, size, sendT, ok := EnvelopeInfo(data)
+		if err != nil {
+			return
+		}
+		if !ok || from != m.From || to != m.To || kind != m.Kind || size != m.Bytes ||
+			math.Float64bits(sendT) != math.Float64bits(m.SendT) {
+			t.Fatalf("peek (%d,%d,%d,%d,%g,%v) disagrees with decode %+v", from, to, kind, size, sendT, ok, m)
+		}
+		// decodeEnvelope tolerates trailing bytes (a frame bounds the body);
+		// re-encoding must reproduce exactly the consumed prefix.
+		re := encodeEnvelope(m, payload)
+		if len(re) > len(data) || !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("re-encode changed bytes:\n%x\n%x", re, data)
+		}
+	})
+}

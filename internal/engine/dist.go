@@ -1,0 +1,352 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"aiac/internal/detect"
+	"aiac/internal/dtime"
+	"aiac/internal/fault"
+	"aiac/internal/grid"
+	"aiac/internal/metrics"
+	"aiac/internal/runenv"
+)
+
+// DistOptions configures a distributed (multi-OS-process) run.
+type DistOptions struct {
+	// Workers is the number of worker processes the P node ranks (plus the
+	// detector slot, co-located with rank 0) are spread over. Default 2.
+	Workers int
+	// Spawn launches one worker; required. Use dtime.SpawnCommand to re-
+	// exec a binary with a hidden worker mode (cmd/aiacrun does), or
+	// dtime.GoroutineSpawner for in-process loopback workers (tests).
+	Spawn func(w dtime.WorkerEnv) (dtime.Process, error)
+	// RunID names the run ("" = fresh random id); RunRoot holds the run
+	// directories ("" = os.TempDir()).
+	RunID   string
+	RunRoot string
+	// Coordinator supervision bounds (zero = dtime defaults).
+	HeartbeatTimeout time.Duration
+	Connect          time.Duration
+	Wall             time.Duration
+}
+
+// RunDist executes the configured solver across worker OS processes and
+// assembles the global Result from their reported outcomes, exactly as Run
+// assembles it in process. The second return is the coordinator's run
+// record (run directory, worker identities, federated end time).
+func RunDist(cfg Config, opts DistOptions) (*Result, *dtime.RunInfo, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cfg = cfg.withDefaults()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	if opts.Workers < 1 || opts.Workers > cfg.P {
+		return nil, nil, fmt.Errorf("engine: %d workers for %d node ranks", opts.Workers, cfg.P)
+	}
+	wallStart := time.Now()
+	if s := cfg.Metrics; s != nil {
+		s.Start(cfg.P)
+		fillManifest(&s.Manifest, &cfg)
+	}
+
+	blobs, info, err := dtime.Run(dtime.Options{
+		Workers:          opts.Workers,
+		Ranks:            cfg.P + 1,
+		RankWorker:       dtime.DefaultRankWorker(cfg.P, opts.Workers),
+		Spawn:            opts.Spawn,
+		RunID:            opts.RunID,
+		RunRoot:          opts.RunRoot,
+		HeartbeatTimeout: opts.HeartbeatTimeout,
+		Connect:          opts.Connect,
+		Wall:             opts.Wall,
+	})
+	if err != nil {
+		return nil, info, err
+	}
+
+	outcomes := make([]*nodeOutcome, cfg.P)
+	var detOut detect.Outcome
+	var stats fault.Stats
+	sawDet := false
+	for w, blob := range blobs {
+		wr, err := decodeWorkerResult(blob)
+		if err != nil {
+			return nil, info, fmt.Errorf("engine: worker %d outcome: %w", w, err)
+		}
+		for i, rank := range wr.ranks {
+			if rank < 0 || rank >= cfg.P {
+				return nil, info, fmt.Errorf("engine: worker %d reported unknown rank %d", w, rank)
+			}
+			if outcomes[rank] != nil {
+				return nil, info, fmt.Errorf("engine: rank %d reported by two workers", rank)
+			}
+			outcomes[rank] = wr.outcomes[i]
+		}
+		if wr.hasDet {
+			detOut = wr.detOut
+			sawDet = true
+		}
+		stats.Dropped += wr.stats.Dropped
+		stats.Duplicated += wr.stats.Duplicated
+		stats.Reordered += wr.stats.Reordered
+		stats.Spiked += wr.stats.Spiked
+		stats.Stalled += wr.stats.Stalled
+		stats.Slowed += wr.stats.Slowed
+	}
+	if cfg.useCentral() && !sawDet {
+		return nil, info, fmt.Errorf("engine: no worker reported the detector outcome")
+	}
+
+	// A requested global stop with no successful halt is the distributed
+	// MaxTime path: some worker's watchdog fired and stopped the world.
+	timedOut := info.StopRequested && !(detOut.Halted && !detOut.Aborted)
+	res, err := assembleResult(&cfg, outcomes, detOut, info.EndTime, timedOut, stats)
+	if err != nil {
+		return res, info, err
+	}
+	finishMetrics(&cfg, res, wallStart, nil)
+	if err := writeFederatedView(&cfg, res, info); err != nil {
+		return res, info, fmt.Errorf("engine: federate run view: %w", err)
+	}
+	return res, info, nil
+}
+
+// writeFederatedView writes the coordinator's view of the run into the run
+// directory: manifest.json (the run manifest with the Dist section) and —
+// when the workers exported telemetry sidecars — a merged metrics.jsonl
+// that aiacreport renders like any single-process run.
+func writeFederatedView(cfg *Config, res *Result, info *dtime.RunInfo) error {
+	var man metrics.Manifest
+	if s := cfg.Metrics; s != nil {
+		man = s.Manifest
+	} else {
+		fillManifest(&man, cfg)
+		man.Outcome = &metrics.Outcome{
+			Converged:   res.Converged,
+			TimedOut:    res.TimedOut,
+			Time:        res.Time,
+			TotalIters:  res.TotalIters,
+			TotalWork:   res.TotalWork,
+			MaxResidual: res.MaxResidual,
+			Faults:      res.FaultStats,
+		}
+	}
+	man.FillHost()
+	man.Dist = &metrics.DistManifest{
+		RunID: info.RunID, Workers: len(info.Workers), Role: "coordinator",
+	}
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(info.RunDir, "manifest.json"), append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	var runs []*metrics.Run
+	for _, w := range info.Workers {
+		path := filepath.Join(w.StateDir, "metrics.jsonl")
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		r, err := metrics.ReadRunFile(path)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, r)
+	}
+	if len(runs) != len(info.Workers) {
+		return nil // workers ran without telemetry export
+	}
+	merged, err := metrics.MergeRuns(runs)
+	if err != nil {
+		return err
+	}
+	merged.Manifest = man
+	f, err := os.Create(filepath.Join(info.RunDir, "metrics.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return merged.WriteJSONL(f)
+}
+
+// DistWorkerOptions configures the worker-process half of a distributed
+// run.
+type DistWorkerOptions struct {
+	// Speedup scales model time to wall time on this worker (default 1000),
+	// matching rtime.Runner.Speedup.
+	Speedup float64
+	// WrapConn, when non-nil, wraps the coordinator connection — the seam
+	// for the fault-injecting wrapper (fault.NewConn).
+	WrapConn func(net.Conn) net.Conn
+	// ObsAddr is this worker's /metrics listen address, reported to the
+	// coordinator (empty = no observability plane).
+	ObsAddr string
+	// ExportMetrics writes a metrics.jsonl telemetry sidecar next to the
+	// manifest.json in the worker's state directory (requires cfg.Metrics).
+	ExportMetrics bool
+	// WireFaults is the injector behind WrapConn (second return of
+	// DistFaultConn); its counters are folded into the reported outcome so
+	// wire faults show up in the coordinator's Result.FaultStats.
+	WireFaults *fault.Injector
+}
+
+// DistFaultConn returns the WrapConn for a worker of a faulted run: the
+// frames it writes to the coordinator face cfg.Faults as real packet loss,
+// duplication, and delay on the wire, scoped exactly like the in-process
+// hook (data plane only, unless the plan names kinds). Each directed
+// remote link is faulted only here — the worker runtime skips FaultHook
+// for remote sends — so the per-link decision streams stay disjoint from
+// the local ones. speedup must match DistWorkerOptions.Speedup (0 = the
+// worker default). The returned injector carries the wire-fault counters;
+// pass it as DistWorkerOptions.WireFaults so they reach the coordinator's
+// Result. Both returns are nil when no faults are active.
+func DistFaultConn(cfg Config, speedup float64) (func(net.Conn) net.Conn, *fault.Injector) {
+	if cfg.Faults == nil || cfg.Faults.Zero() {
+		return nil, nil
+	}
+	cfg = cfg.withDefaults()
+	if speedup <= 0 {
+		speedup = 1000
+	}
+	inj := cfg.Faults.MustCompile(cfg.P + 1)
+	dataOnly := cfg.Faults.Kinds == nil
+	ser := grid.NewSerializer(cfg.Cluster)
+	var serMu sync.Mutex
+	wrap := func(inner net.Conn) net.Conn {
+		return fault.NewConn(inner, inj, fault.ConnOptions{
+			FrameLen: func(buf []byte) (int, error) {
+				return dtime.FrameLen(buf, dtime.MaxFrame)
+			},
+			Classify: func(frame []byte) (from, to, kind, bytes int, ok bool) {
+				typ, payload, _, err := dtime.DecodeFrame(frame, dtime.MaxFrame)
+				if err != nil || typ != dtime.FrameMsg {
+					return 0, 0, 0, 0, false
+				}
+				from, to, kind, bytes, _, ok = dtime.EnvelopeInfo(payload)
+				if !ok || (dataOnly && kind >= detect.KindBase) {
+					return 0, 0, 0, 0, false
+				}
+				return from, to, kind, bytes, true
+			},
+			Delay: func(from, to, bytes int) float64 {
+				// The wrapper has no model clock; a zero-now serializer
+				// still yields the link's base latency + transfer time,
+				// which is all the plan scales its jitter from.
+				serMu.Lock()
+				defer serMu.Unlock()
+				return ser.Delay(cfg.mapRank(from), cfg.mapRank(to), bytes, 0)
+			},
+			WallScale: 1 / speedup,
+		})
+	}
+	return wrap, inj
+}
+
+// RunDistWorker executes this process's share of a distributed run: it
+// joins the coordinator named by wenv, runs the locally hosted ranks with
+// the exact same bodies and runtime hooks Run would use, reports the
+// outcome blob, and writes its state-directory sidecars. The caller must
+// pass the same Config on every worker and on the coordinator.
+func RunDistWorker(cfg Config, wenv dtime.WorkerEnv, opts DistWorkerOptions) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults()
+	if s := cfg.Metrics; s != nil {
+		s.Start(cfg.P)
+		fillManifest(&s.Manifest, &cfg)
+	}
+	return dtime.RunWorker(wenv, dtime.WorkerOptions{
+		Codec:    Codec{},
+		Speedup:  opts.Speedup,
+		WrapConn: opts.WrapConn,
+		ObsAddr:  opts.ObsAddr,
+	}, func(pr runenv.PartialRunner) ([]byte, error) {
+		bodies := make(map[int]runenv.Body, len(wenv.Ranks))
+		outs := make([]*nodeOutcome, len(wenv.Ranks))
+		var detOut detect.Outcome
+		hasDet := false
+		for i, rank := range wenv.Ranks {
+			if rank < cfg.P {
+				bodies[rank] = nodeBody(&cfg, rank, &outs[i])
+			} else {
+				bodies[rank] = detectorBody(&cfg, &detOut)
+				hasDet = true
+			}
+		}
+		rcfg, inj := buildRunenvConfig(&cfg, wenv.Total)
+		pr.RunRanks(rcfg, bodies)
+
+		wr := &workerResult{hasDet: hasDet, detOut: detOut}
+		for i, rank := range wenv.Ranks {
+			if rank >= cfg.P {
+				continue
+			}
+			if outs[i] == nil {
+				return nil, fmt.Errorf("engine: node %d produced no outcome", rank)
+			}
+			wr.ranks = append(wr.ranks, rank)
+			wr.outcomes = append(wr.outcomes, outs[i])
+		}
+		if inj != nil {
+			wr.stats = inj.Stats()
+		}
+		if wi := opts.WireFaults; wi != nil {
+			ws := wi.Stats()
+			wr.stats.Dropped += ws.Dropped
+			wr.stats.Duplicated += ws.Duplicated
+			wr.stats.Reordered += ws.Reordered
+			wr.stats.Spiked += ws.Spiked
+			wr.stats.Stalled += ws.Stalled
+			wr.stats.Slowed += ws.Slowed
+		}
+		if err := writeWorkerSidecars(&cfg, wenv, opts); err != nil {
+			return nil, err
+		}
+		return encodeWorkerResult(wr), nil
+	})
+}
+
+// writeWorkerSidecars leaves the worker's state directory self-describing:
+// a manifest.json identifying the run and this worker's share of it, and —
+// when telemetry export is on — its metrics.jsonl series.
+func writeWorkerSidecars(cfg *Config, wenv dtime.WorkerEnv, opts DistWorkerOptions) error {
+	var man metrics.Manifest
+	if s := cfg.Metrics; s != nil {
+		man = s.Manifest
+	} else {
+		fillManifest(&man, cfg)
+	}
+	man.FillHost()
+	man.Dist = &metrics.DistManifest{
+		RunID: wenv.RunID, Workers: wenv.Workers, Role: "worker",
+		Worker: wenv.Worker, Ranks: wenv.Ranks, Pid: os.Getpid(),
+	}
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(wenv.StateDir, "manifest.json"), append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	if s := cfg.Metrics; s != nil && opts.ExportMetrics {
+		s.Manifest.Dist = man.Dist
+		f, err := os.Create(filepath.Join(wenv.StateDir, "metrics.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return s.WriteJSONL(f)
+	}
+	return nil
+}

@@ -336,23 +336,57 @@ func Run(cfg Config) (*Result, error) {
 	outcomes := make([]*nodeOutcome, p)
 	bodies := make([]runenv.Body, p+1)
 	for i := 0; i < p; i++ {
-		rank := i
-		bodies[i] = func(env runenv.Env) {
-			n := newNode(env, &cfg, rank)
-			outcomes[rank] = n.run()
-		}
+		bodies[i] = nodeBody(&cfg, i, &outcomes[i])
 	}
-	// The decentralized ring protocol needs no coordinator process for
-	// AIAC/SIAC, but the process slot stays (inert) so rank numbering and
-	// the SISC barrier path are uniform.
-	useCentral := cfg.Mode == SISC || cfg.Detection != DetectRing
 	var detOut detect.Outcome
-	bodies[p] = func(env runenv.Env) {
-		if !useCentral {
+	bodies[p] = detectorBody(&cfg, &detOut)
+
+	sched := newWorld(cfg)
+	end := sched.run(bodies)
+
+	var stats fault.Stats
+	if sched.inj != nil {
+		stats = sched.inj.Stats()
+	}
+	res, err := assembleResult(&cfg, outcomes, detOut, end, sched.timedOut(), stats)
+	if err != nil {
+		return res, err
+	}
+	var sim *metrics.SimManifest
+	if cfg.SimWorkers > 1 {
+		sim = sched.simManifest()
+	}
+	finishMetrics(&cfg, res, wallStart, sim)
+	return res, nil
+}
+
+// nodeBody returns the process body of node rank, writing its outcome into
+// *out when it halts.
+func nodeBody(cfg *Config, rank int, out **nodeOutcome) runenv.Body {
+	return func(env runenv.Env) {
+		n := newNode(env, cfg, rank)
+		*out = n.run()
+	}
+}
+
+// useCentral reports whether the extra process slot at rank P runs an
+// actual coordinator: the SISC barrier or the central detector. The
+// decentralized ring protocol needs no coordinator for AIAC/SIAC, but the
+// process slot stays (inert) so rank numbering is uniform.
+func (c *Config) useCentral() bool {
+	return c.Mode == SISC || c.Detection != DetectRing
+}
+
+// detectorBody returns the body of the rank-P process slot: the central
+// detector / SISC barrier coordinator, or an inert body under ring
+// detection. The detector outcome is written into *out.
+func detectorBody(cfg *Config, out *detect.Outcome) runenv.Body {
+	return func(env runenv.Env) {
+		if !cfg.useCentral() {
 			return
 		}
 		dcfg := detect.Config{
-			P:            p,
+			P:            cfg.P,
 			Barrier:      cfg.Mode == SISC,
 			SingleVerify: cfg.SingleVerify,
 			TraceIters:   cfg.TraceIters,
@@ -369,14 +403,18 @@ func Run(cfg Config) (*Result, error) {
 				s.Event(t, -1, "halt", detail)
 			}
 		}
-		detOut = detect.Run(env, dcfg)
+		*out = detect.Run(env, dcfg)
 	}
+}
 
-	sched := newWorld(cfg)
-	end := sched.run(bodies)
-
+// assembleResult aggregates per-node outcomes into the global Result: the
+// counters, the aggregates, and the two-pass state gather. It is shared by
+// the in-process Run path and the distributed coordinator (which receives
+// the outcomes over the wire).
+func assembleResult(cfg *Config, outcomes []*nodeOutcome, detOut detect.Outcome, end float64, timedOut bool, stats fault.Stats) (*Result, error) {
+	p := cfg.P
 	converged := detOut.Halted && !detOut.Aborted
-	if !useCentral {
+	if !cfg.useCentral() {
 		converged = true
 		for _, o := range outcomes {
 			if o == nil || !o.haltedOK {
@@ -387,15 +425,13 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{
 		Time:       end,
 		Converged:  converged,
-		TimedOut:   sched.timedOut(),
+		TimedOut:   timedOut,
 		NodeIters:  make([]int, p),
 		NodeWork:   make([]float64, p),
 		NodeResid:  make([]float64, p),
 		FinalCount: make([]int, p),
 		State:      make([][]float64, cfg.Problem.Components()),
-	}
-	if sched.inj != nil {
-		res.FaultStats = sched.inj.Stats()
+		FaultStats: stats,
 	}
 	for r, o := range outcomes {
 		if o == nil {
@@ -439,33 +475,39 @@ func Run(cfg Config) (*Result, error) {
 			return res, fmt.Errorf("engine: component %d missing from the gathered state", j)
 		}
 	}
-	if s := cfg.Metrics; s != nil {
-		if cfg.SimWorkers > 1 {
-			s.Manifest.Sim = sched.simManifest()
-		}
-		var traceDropped uint64
-		if cfg.Trace != nil {
-			traceDropped = cfg.Trace.Dropped()
-		}
-		s.FinishRun(metrics.Outcome{
-			TraceDropped:  traceDropped,
-			Converged:     res.Converged,
-			TimedOut:      res.TimedOut,
-			Time:          res.Time,
-			WallSeconds:   time.Since(wallStart).Seconds(),
-			TotalIters:    res.TotalIters,
-			TotalWork:     res.TotalWork,
-			MaxResidual:   res.MaxResidual,
-			LBTransfers:   res.LBTransfers,
-			LBRejects:     res.LBRejects,
-			LBCompsMoved:  res.LBCompsMoved,
-			LBRetries:     res.LBRetries,
-			BoundaryMsgs:  res.BoundaryMsgs,
-			SuppressedSnd: res.SuppressedSnd,
-			Faults:        res.FaultStats,
-		})
-	}
 	return res, nil
+}
+
+// finishMetrics seals the telemetry sink's manifest with the run outcome.
+func finishMetrics(cfg *Config, res *Result, wallStart time.Time, sim *metrics.SimManifest) {
+	s := cfg.Metrics
+	if s == nil {
+		return
+	}
+	if sim != nil {
+		s.Manifest.Sim = sim
+	}
+	var traceDropped uint64
+	if cfg.Trace != nil {
+		traceDropped = cfg.Trace.Dropped()
+	}
+	s.FinishRun(metrics.Outcome{
+		TraceDropped:  traceDropped,
+		Converged:     res.Converged,
+		TimedOut:      res.TimedOut,
+		Time:          res.Time,
+		WallSeconds:   time.Since(wallStart).Seconds(),
+		TotalIters:    res.TotalIters,
+		TotalWork:     res.TotalWork,
+		MaxResidual:   res.MaxResidual,
+		LBTransfers:   res.LBTransfers,
+		LBRejects:     res.LBRejects,
+		LBCompsMoved:  res.LBCompsMoved,
+		LBRetries:     res.LBRetries,
+		BoundaryMsgs:  res.BoundaryMsgs,
+		SuppressedSnd: res.SuppressedSnd,
+		Faults:        res.FaultStats,
+	})
 }
 
 // fillManifest echoes the solver configuration into the telemetry manifest.
@@ -490,7 +532,9 @@ func fillManifest(m *metrics.Manifest, cfg *Config) {
 	}
 	m.GaussSeidel = cfg.GaussSeidelLocal
 	m.Seed = cfg.Seed
-	m.MetricsPeriod = cfg.Metrics.Period
+	if cfg.Metrics != nil {
+		m.MetricsPeriod = cfg.Metrics.Period
+	}
 	if cfg.LB.Enabled && m.LB == nil {
 		m.LB = &metrics.LBManifest{
 			Period:    cfg.LB.Period,
@@ -520,20 +564,25 @@ type world struct {
 
 func newWorld(cfg Config) *world { return &world{cfg: cfg} }
 
-func (w *world) run(bodies []runenv.Body) float64 {
-	mapRank := w.cfg.mapRank
-	ser := grid.NewSerializer(w.cfg.Cluster)
+// buildRunenvConfig constructs the runtime configuration for a world of
+// procs processes (the P nodes plus the detector slot) and installs the
+// fault hooks when the plan is effective; the returned injector is nil when
+// no faults are active. Shared by the in-process backends and each
+// distributed worker (which consults the hooks only for its local events).
+func buildRunenvConfig(cfg *Config, procs int) (runenv.Config, *fault.Injector) {
+	mapRank := cfg.mapRank
+	ser := grid.NewSerializer(cfg.Cluster)
 	rcfg := runenv.Config{
-		Procs:   len(bodies),
-		Seed:    w.cfg.Seed,
-		Trace:   w.cfg.Trace,
-		MaxTime: w.cfg.MaxTime,
+		Procs:   procs,
+		Seed:    cfg.Seed,
+		Trace:   cfg.Trace,
+		MaxTime: cfg.MaxTime,
 		// Pre-size the scheduler's event containers: a handful of in-
 		// flight events per process is typical (halo sends, LB handshake,
 		// detection control).
-		EventCapHint: 8 * len(bodies),
+		EventCapHint: 8 * procs,
 		ComputeTime: func(node int, start, units float64) float64 {
-			return w.cfg.Cluster.ComputeTime(mapRank(node), start, units)
+			return cfg.Cluster.ComputeTime(mapRank(node), start, units)
 		},
 		// A fresh serializer per run: links transmit one message at a
 		// time, so heavy balancing traffic can actually overload them.
@@ -541,6 +590,54 @@ func (w *world) run(bodies []runenv.Body) float64 {
 			return ser.Delay(mapRank(from), mapRank(to), bytes, now)
 		},
 	}
+	if s := cfg.Metrics; s != nil {
+		rcfg.Observer = s
+	}
+	var inj *fault.Injector
+	if cfg.Faults != nil && !cfg.Faults.Zero() {
+		// Already validated by Run; faults act on process ranks (pre-
+		// mapping), matching the OwnershipLog and the test harness.
+		inj = cfg.Faults.MustCompile(procs)
+		rcfg.FaultHook = scopedFaultHook(cfg, inj)
+		rcfg.ComputeTime = inj.WrapCompute(rcfg.ComputeTime)
+	}
+	return rcfg, inj
+}
+
+// scopedFaultHook wraps an injector's message hook with the engine's
+// default kind scoping and per-node metrics attribution.
+func scopedFaultHook(cfg *Config, inj *fault.Injector) func(from, to, kind, bytes int, now, delay float64) runenv.MsgFault {
+	hook := inj.MsgFault
+	if cfg.Faults.Kinds == nil {
+		// Default scope: data plane only. Convergence detection and
+		// the SISC barrier ride a reliable control channel unless the
+		// plan names their kinds explicitly.
+		hook = func(from, to, kind, bytes int, now, delay float64) runenv.MsgFault {
+			if kind >= detect.KindBase {
+				return runenv.MsgFault{}
+			}
+			return inj.MsgFault(from, to, kind, bytes, now, delay)
+		}
+	}
+	if s := cfg.Metrics; s != nil {
+		// Per-node fault attribution: any non-default fate counts
+		// against the destination's inbound links. (MsgFault is not
+		// comparable — DupDelays is a slice — so test field by field.)
+		inner := hook
+		hook = func(from, to, kind, bytes int, now, delay float64) runenv.MsgFault {
+			f := inner(from, to, kind, bytes, now, delay)
+			if f.Drop || f.Reorder || f.ExtraDelay != 0 || len(f.DupDelays) > 0 {
+				s.CountFault(to, now)
+			}
+			return f
+		}
+	}
+	return hook
+}
+
+func (w *world) run(bodies []runenv.Body) float64 {
+	rcfg, inj := buildRunenvConfig(&w.cfg, len(bodies))
+	w.inj = inj
 	if w.cfg.SimWorkers > 1 {
 		if groups, minDelay := planGroups(&w.cfg); groups != nil {
 			rcfg.Groups = groups
@@ -549,42 +646,6 @@ func (w *world) run(bodies []runenv.Body) float64 {
 			rcfg.LinkMinDelay = w.cfg.linkMinDelay()
 			w.planned, w.planDelay = groups, minDelay
 		}
-	}
-	if s := w.cfg.Metrics; s != nil {
-		rcfg.Observer = s
-	}
-	if w.cfg.Faults != nil && !w.cfg.Faults.Zero() {
-		// Already validated by Run; faults act on process ranks (pre-
-		// mapping), matching the OwnershipLog and the test harness.
-		inj := w.cfg.Faults.MustCompile(len(bodies))
-		w.inj = inj
-		hook := inj.MsgFault
-		if w.cfg.Faults.Kinds == nil {
-			// Default scope: data plane only. Convergence detection and
-			// the SISC barrier ride a reliable control channel unless the
-			// plan names their kinds explicitly.
-			hook = func(from, to, kind, bytes int, now, delay float64) runenv.MsgFault {
-				if kind >= detect.KindBase {
-					return runenv.MsgFault{}
-				}
-				return inj.MsgFault(from, to, kind, bytes, now, delay)
-			}
-		}
-		if s := w.cfg.Metrics; s != nil {
-			// Per-node fault attribution: any non-default fate counts
-			// against the destination's inbound links. (MsgFault is not
-			// comparable — DupDelays is a slice — so test field by field.)
-			inner := hook
-			hook = func(from, to, kind, bytes int, now, delay float64) runenv.MsgFault {
-				f := inner(from, to, kind, bytes, now, delay)
-				if f.Drop || f.Reorder || f.ExtraDelay != 0 || len(f.DupDelays) > 0 {
-					s.CountFault(to, now)
-				}
-				return f
-			}
-		}
-		rcfg.FaultHook = hook
-		rcfg.ComputeTime = inj.WrapCompute(rcfg.ComputeTime)
 	}
 	if _, isVT := w.cfg.Runner.(vtime.Runner); isVT {
 		// instantiate directly so we can read Deadlocked/TimedOut

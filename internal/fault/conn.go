@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnOptions configures a fault-injecting connection wrapper. The wrapper
+// is transport-agnostic: it never parses wire formats itself, the caller
+// supplies the frame splitter and the envelope peek of whatever protocol
+// flows through the connection.
+type ConnOptions struct {
+	// FrameLen reports the total length of the frame starting at buf[0], or
+	// 0 when buf is still too short to tell (dtime.FrameLen fits directly).
+	// Required.
+	FrameLen func(buf []byte) (int, error)
+	// Classify extracts the fault-plan routing key of one complete frame.
+	// ok=false marks the frame as control plane: it is forwarded verbatim
+	// and never faulted. Required.
+	Classify func(frame []byte) (from, to, kind, bytes int, ok bool)
+	// Delay models the base link delay of a frame, in model seconds; the
+	// plan scales its jitter and spikes from it (grid.Cluster.Delay fits).
+	// nil means zero base delay, so only byte-rate slowness applies.
+	Delay func(from, to, bytes int) float64
+	// Now supplies the model time passed to the injector. nil means 0; the
+	// seeded plan does not consult it, so tests may leave it unset.
+	Now func() float64
+	// WallScale converts a model-seconds fault delay into wall seconds for
+	// the head-of-line sleep (1/speedup of the worker clock). Default 1e-3.
+	WallScale float64
+	// MaxDelay caps any single injected sleep so a hostile plan cannot
+	// starve heartbeats sharing the connection. Default 100ms.
+	MaxDelay time.Duration
+	// ByteRate throttles writes to the given payload bytes per wall second,
+	// modeling a slow link. 0 disables the throttle.
+	ByteRate float64
+}
+
+// Conn wraps a net.Conn and applies a seeded fault plan to the frames
+// written through it: dropped frames are swallowed, duplicated frames are
+// written twice, and delay-shaped faults become bounded head-of-line
+// sleeps. TCP delivers whatever survives in order, so reorder faults
+// degrade to delays — loss, duplication, delay, and slowness are exactly
+// the failure modes a real stream transport exposes.
+//
+// Faults are decided by Injector.MsgFault, the same per-link splitmix
+// stream the in-process runtime hook draws from: the fate of the n-th
+// data frame on a directed link is a pure function of (seed, link, n),
+// regardless of which side of the process boundary the link crosses.
+//
+// Reads pass through untouched; the receiver's ledger, not the network,
+// is what the surviving duplicates are meant to exercise.
+type Conn struct {
+	net.Conn
+	inj *Injector
+	o   ConnOptions
+
+	mu  sync.Mutex
+	buf []byte // carry-over of an incomplete trailing frame
+}
+
+// NewConn wraps inner with the plan compiled into inj. Panics if the
+// required callbacks are missing — that is a wiring bug, not a runtime
+// condition.
+func NewConn(inner net.Conn, inj *Injector, o ConnOptions) *Conn {
+	if o.FrameLen == nil || o.Classify == nil {
+		panic("fault: ConnOptions needs FrameLen and Classify")
+	}
+	if o.WallScale == 0 {
+		o.WallScale = 1e-3
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = 100 * time.Millisecond
+	}
+	return &Conn{Conn: inner, inj: inj, o: o}
+}
+
+// Write splits p into frames and decides each frame's fate. Partial
+// trailing frames are buffered until a later Write completes them, so the
+// wrapper stays correct even if the sender fragments frames across calls.
+// The reported length always covers all of p: a dropped frame is a
+// successful write that the network happened to lose.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = append(c.buf, p...)
+	for {
+		n, err := c.o.FrameLen(c.buf)
+		if err != nil {
+			return 0, fmt.Errorf("fault: split write stream: %w", err)
+		}
+		if n == 0 || n > len(c.buf) {
+			return len(p), nil
+		}
+		frame := c.buf[:n:n]
+		c.buf = c.buf[n:]
+		if err := c.writeFrame(frame); err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (c *Conn) writeFrame(frame []byte) error {
+	copies := 1
+	var sleep time.Duration
+	if from, to, kind, bytes, ok := c.o.Classify(frame); ok {
+		var now, delay float64
+		if c.o.Now != nil {
+			now = c.o.Now()
+		}
+		if c.o.Delay != nil {
+			delay = c.o.Delay(from, to, bytes)
+		}
+		f := c.inj.MsgFault(from, to, kind, bytes, now, delay)
+		if f.Drop {
+			return nil
+		}
+		copies += len(f.DupDelays)
+		sleep = time.Duration(f.ExtraDelay * c.o.WallScale * float64(time.Second))
+	}
+	if c.o.ByteRate > 0 {
+		sleep += time.Duration(float64(len(frame)) / c.o.ByteRate * float64(time.Second))
+	}
+	if sleep > c.o.MaxDelay {
+		sleep = c.o.MaxDelay
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	for i := 0; i < copies; i++ {
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -53,6 +53,10 @@ type Manifest struct {
 	// when within-run parallelism was asked for; nil otherwise).
 	Sim *SimManifest `json:"sim,omitempty"`
 
+	// Dist records a distributed (multi-OS-process) run: the run identity
+	// and, in a worker's sidecar manifest, which worker wrote it.
+	Dist *DistManifest `json:"dist,omitempty"`
+
 	// Outcome is sealed by FinishRun when the run completes.
 	Outcome *Outcome `json:"outcome,omitempty"`
 }
@@ -88,6 +92,20 @@ type SimManifest struct {
 	Events          int64   `json:"events,omitempty"`
 	MeanWindowWidth float64 `json:"mean_window_width,omitempty"`
 	Flushes         int64   `json:"side_effect_flushes,omitempty"`
+}
+
+// DistManifest describes one view of a distributed run. The coordinator's
+// federated manifest has Role "coordinator"; each worker process writes a
+// manifest.json sidecar into its state directory with Role "worker" and its
+// own identity filled in.
+type DistManifest struct {
+	RunID   string `json:"run_id"`
+	Workers int    `json:"workers"`
+	Role    string `json:"role"`
+	// Worker, Ranks and Pid identify a worker sidecar (Role "worker").
+	Worker int   `json:"worker,omitempty"`
+	Ranks  []int `json:"ranks,omitempty"`
+	Pid    int   `json:"pid,omitempty"`
 }
 
 // LBManifest echoes a load-balancing policy.

@@ -346,9 +346,9 @@ func (s *Sink) FinishRun(out Outcome) {
 		return
 	}
 	s.phase.Store(2)
-	s.Manifest.Outcome = &out
 	s.fmu.Lock()
 	defer s.fmu.Unlock()
+	s.Manifest.Outcome = &out
 	for r := range s.nodes {
 		times := s.faultT[r]
 		sort.Float64s(times)
@@ -361,6 +361,16 @@ func (s *Sink) FinishRun(out Outcome) {
 			row[i].Faults = uint64(idx)
 		}
 	}
+}
+
+// ManifestSnapshot returns a copy of the run manifest that is safe to read
+// while the run is finishing: the outcome seal in FinishRun synchronizes
+// on the same lock. Live HTTP handlers (obs /manifest) use this instead of
+// reading Manifest directly.
+func (s *Sink) ManifestSnapshot() Manifest {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	return s.Manifest
 }
 
 // Events returns the stored timeline in canonical order — ascending time,

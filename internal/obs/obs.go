@@ -3,6 +3,7 @@
 //
 //	/metrics        Prometheus text exposition of the sink's live state
 //	/healthz        JSON {phase, max_residual} for liveness probes
+//	/manifest       the run manifest as JSON (config echo, host, outcome)
 //	/debug/pprof/*  the standard net/http/pprof profiles
 //
 // Everything the handlers read is atomic on the sink side, so scrapes are
@@ -44,6 +45,7 @@ func Serve(addr string, sink *metrics.Sink) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/manifest", s.handleManifest)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -77,6 +79,16 @@ func (s *Server) Close(grace time.Duration) error {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.sink.WritePrometheus(w)
+}
+
+// handleManifest serves the run's self-description — in a distributed run
+// each worker exposes its own manifest here, and the Dist section tells a
+// scraper which worker (and which ranks) it is talking to.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.sink.ManifestSnapshot())
 }
 
 // Health is the /healthz response body.

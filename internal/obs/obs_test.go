@@ -79,10 +79,34 @@ func TestServerEndpoints(t *testing.T) {
 		t.Errorf("/debug/pprof/cmdline status=%d len=%d", code, len(body))
 	}
 
+	sink.Manifest.Name = "obs-test"
+	sink.Manifest.Dist = &metrics.DistManifest{RunID: "run-1", Role: "worker", Worker: 2, Ranks: []int{4, 5}}
+	code, body = get(t, base+"/manifest")
+	if code != http.StatusOK {
+		t.Fatalf("/manifest status = %d", code)
+	}
+	var man metrics.Manifest
+	if err := json.Unmarshal([]byte(body), &man); err != nil {
+		t.Fatalf("/manifest not JSON: %v\n%s", err, body)
+	}
+	if man.Name != "obs-test" || man.Outcome != nil {
+		t.Errorf("/manifest before finish = %+v", man)
+	}
+	if man.Dist == nil || man.Dist.Worker != 2 || man.Dist.Role != "worker" {
+		t.Errorf("/manifest dist section = %+v", man.Dist)
+	}
+
 	sink.FinishRun(metrics.Outcome{Converged: true})
 	_, body = get(t, base+"/healthz")
 	if !strings.Contains(body, metrics.PhaseDone) {
 		t.Errorf("/healthz after FinishRun = %s, want phase %q", body, metrics.PhaseDone)
+	}
+	_, body = get(t, base+"/manifest")
+	if err := json.Unmarshal([]byte(body), &man); err != nil {
+		t.Fatalf("/manifest after finish not JSON: %v", err)
+	}
+	if man.Outcome == nil || !man.Outcome.Converged {
+		t.Errorf("/manifest outcome not sealed: %+v", man.Outcome)
 	}
 }
 
