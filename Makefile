@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-diff bench-par check test-faults test-par test-dist fmt-check report critpath cover
+.PHONY: build test vet race bench bench-json bench-diff bench-par bench-svc bench-svc-record check test-faults test-par test-dist test-svc fmt-check report critpath cover
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,29 @@ test-par:
 	$(GO) test -race -timeout 30m ./internal/vtime/ -run 'TestParallel'
 	$(GO) test -race -timeout 30m ./internal/engine/ \
 		-run 'TestParallelEngineEquivalence|TestPlanGroups|TestAdaptiveLookahead|TestSimManifest'
+
+# The control-plane acceptance suite under -race: run registry durability
+# and rescan, fair queuing and quotas, the HTTP API lifecycle, SSE replay
+# determinism, and aiacrun's signal-sealing contract (see DESIGN.md §12).
+test-svc:
+	$(GO) test -race -timeout 30m ./internal/obs/ ./internal/report/ ./cmd/aiacrun/
+
+# Control-plane load test: thousands of short solves through the HTTP API,
+# diffed against the committed BENCH_6.json record. Set BENCH_SVC_GATE to a
+# ratio (e.g. 1.5) to fail when the mean submit-to-done latency regresses
+# past it; keep it unset on hosts that don't match the baseline's num_cpu
+# field (wall-clock latency on a different core count is not a regression).
+BENCH_SVC_GATE ?=
+bench-svc:
+	$(GO) run ./cmd/aiacload -runs 1400 -t 4 | \
+		$(GO) run ./cmd/benchjson -diff BENCH_6.json \
+			$(if $(BENCH_SVC_GATE),-fail-above $(BENCH_SVC_GATE))
+
+# Regenerate the committed load-test record on this host.
+bench-svc-record:
+	$(GO) run ./cmd/aiacload -runs 1400 -t 4 | \
+		$(GO) run ./cmd/benchjson -o BENCH_6.json \
+			-note "solver-as-a-service load test (aiacload, self-hosted)"
 
 # Everything must stay gofmt-clean; prints the offending files on failure.
 fmt-check:
@@ -109,4 +132,4 @@ cover:
 	awk -v p="$$pct" -v min="$(COVER_MIN)" 'BEGIN {exit !(p+0 < min+0)}' && \
 		{ echo "FAIL: internal/trace coverage $$pct% < $(COVER_MIN)%"; exit 1; } || true
 
-check: build fmt-check vet test test-faults test-par test-dist race
+check: build fmt-check vet test test-faults test-par test-dist test-svc race

@@ -435,3 +435,23 @@ type ObsServer = obs.Server
 // ServeObs starts an ObsServer for the sink on addr (e.g. ":8080"); close it
 // with Close when the run ends.
 func ServeObs(addr string, sink *MetricsSink) (*ObsServer, error) { return obs.Serve(addr, sink) }
+
+// Service is the solver-as-a-service control plane: a durable run registry
+// plus a per-tenant fair-queuing scheduler behind an HTTP API (POST /runs,
+// GET /runs, GET/DELETE /runs/{id}, GET /runs/{id}/events SSE dashboards).
+type Service = obs.Service
+
+// ServiceConfig configures NewService; RunSpec is the POST /runs body.
+type ServiceConfig = obs.ServiceConfig
+type RunSpec = obs.RunSpec
+type SchedulerConfig = obs.SchedulerConfig
+
+// NewService opens the run registry under cfg.Root (rescanning recovers
+// completed runs from a previous process) and starts the solver pool.
+func NewService(cfg ServiceConfig) (*Service, error) { return obs.NewService(cfg) }
+
+// ServeService serves a Service's control-plane API on addr; the listener
+// is bound before it returns, so the address is immediately probeable.
+func ServeService(addr string, svc *Service) (*ObsServer, error) {
+	return obs.ServeService(addr, svc)
+}

@@ -1,0 +1,411 @@
+// Command aiacload drives heavy traffic through the solver control plane
+// and reports submit-to-terminal latency, tenant fairness, and SSE follower
+// overhead in `go test -bench` format, so the numbers can be recorded with
+// benchjson (BENCH_6.json) and diffed across PRs like every other
+// performance surface in this repository.
+//
+// By default it self-hosts a service on a loopback port with a throwaway
+// registry root, submits -runs short solves spread round-robin over
+// -tenants tenants, follows a -follow fraction of them over SSE, waits for
+// every run to reach a terminal state, and computes the metrics from the
+// server-side registry timestamps (submitted_at → finished_at), so client
+// scheduling jitter does not pollute the record. Point it at an existing
+// service with -url to load-test a live deployment instead.
+//
+// Usage:
+//
+//	go run ./cmd/aiacload -runs 1000 -tenants 4 | go run ./cmd/benchjson -o BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aiac"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "base URL of a running service (default: self-host on a loopback port)")
+		runs    = flag.Int("runs", 1000, "total solves to submit")
+		tenants = flag.Int("tenants", 4, "tenants to spread the submissions over")
+		workers = flag.Int("workers", 8, "solver pool size when self-hosting")
+		subs    = flag.Int("submitters", 32, "concurrent HTTP submitters")
+		follow  = flag.Float64("follow", 0.1, "fraction of runs followed live over SSE")
+		n       = flag.Int("n", 16, "problem size per solve")
+		horizon = flag.Float64("t", 0.5, "simulated horizon per solve")
+		tol     = flag.Float64("tol", 1e-4, "convergence tolerance per solve")
+		poll    = flag.Duration("poll", 100*time.Millisecond, "registry poll period while draining")
+		name    = flag.String("bench", "ServiceLoad", "benchmark name for the output lines")
+	)
+	flag.Parse()
+	if *runs <= 0 || *tenants <= 0 {
+		fatalf("-runs and -tenants must be positive")
+	}
+
+	base := *url
+	if base == "" {
+		root, err := os.MkdirTemp("", "aiacload-*")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer os.RemoveAll(root)
+		svc, err := aiac.NewService(aiac.ServiceConfig{
+			Root:      root,
+			Scheduler: aiac.SchedulerConfig{Workers: *workers},
+		})
+		if err != nil {
+			fatalf("self-host: %v", err)
+		}
+		defer svc.Close()
+		srv, err := aiac.ServeService("127.0.0.1:0", svc)
+		if err != nil {
+			fatalf("self-host: %v", err)
+		}
+		defer srv.Close(time.Second)
+		base = "http://" + srv.Addr()
+		fmt.Fprintf(os.Stderr, "aiacload: self-hosted service at %s (root %s)\n", base, root)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *subs + 64,
+		MaxIdleConnsPerHost: *subs + 64,
+	}}
+	if err := waitReady(client, base, 5*time.Second); err != nil {
+		fatalf("%v", err)
+	}
+
+	spec := aiac.RunSpec{
+		Name:    "load",
+		Mode:    "aiac",
+		P:       2,
+		Problem: "brusselator",
+		N:       *n,
+		T:       *horizon,
+		Tol:     *tol,
+	}
+
+	// Submit. Tenant assignment is round-robin; the followed set is spread
+	// evenly across the submission order (and hence across tenants).
+	followStep := 0
+	if *follow > 0 {
+		followStep = int(1 / *follow)
+		if followStep < 1 {
+			followStep = 1
+		}
+	}
+	type submitted struct {
+		id       string
+		tenant   string
+		followed bool
+	}
+	var (
+		mu       sync.Mutex
+		byID     = make(map[string]*submitted, *runs)
+		retried  atomic.Int64
+		followWG sync.WaitGroup
+		sseBytes atomic.Int64
+	)
+	start := time.Now()
+	idx := make(chan int, *runs)
+	for i := 0; i < *runs; i++ {
+		idx <- i
+	}
+	close(idx)
+	var submitWG sync.WaitGroup
+	for w := 0; w < *subs; w++ {
+		submitWG.Add(1)
+		go func() {
+			defer submitWG.Done()
+			for i := range idx {
+				s := spec
+				s.Tenant = fmt.Sprintf("tenant-%d", i%*tenants)
+				id, nretry, err := submitRun(client, base, s)
+				if err != nil {
+					fatalf("submit %d: %v", i, err)
+				}
+				retried.Add(nretry)
+				rec := &submitted{id: id, tenant: s.Tenant, followed: followStep > 0 && i%followStep == 0}
+				mu.Lock()
+				byID[id] = rec
+				mu.Unlock()
+				if rec.followed {
+					followWG.Add(1)
+					go func(id string) {
+						defer followWG.Done()
+						nb, err := followSSE(client, base, id)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "aiacload: follow %s: %v\n", id, err)
+						}
+						sseBytes.Add(nb)
+					}(id)
+				}
+			}
+		}()
+	}
+	submitWG.Wait()
+	submitWall := time.Since(start)
+	fmt.Fprintf(os.Stderr, "aiacload: submitted %d runs in %v (%d quota retries)\n",
+		len(byID), submitWall.Round(time.Millisecond), retried.Load())
+
+	// Drain: poll the registry until every submitted run is terminal,
+	// tracking the peak concurrent queue depth along the way.
+	var recs map[string]runRecord
+	peakQueued := 0
+	for {
+		var err error
+		recs, err = listRuns(client, base)
+		if err != nil {
+			fatalf("list: %v", err)
+		}
+		queued, terminal := 0, 0
+		for id := range byID {
+			switch recs[id].State {
+			case "queued":
+				queued++
+			case "done", "failed", "canceled", "lost":
+				terminal++
+			}
+		}
+		if queued > peakQueued {
+			peakQueued = queued
+		}
+		if terminal == len(byID) {
+			break
+		}
+		time.Sleep(*poll)
+	}
+	wall := time.Since(start)
+	followWG.Wait()
+
+	// Latency per run from server-side timestamps; failures are fatal to
+	// the record — a load test that loses runs has no latency to report.
+	type sample struct {
+		lat      time.Duration
+		tenant   string
+		followed bool
+	}
+	var samples []sample
+	failed := 0
+	for id, sub := range byID {
+		rec := recs[id]
+		if rec.State != "done" {
+			failed++
+			fmt.Fprintf(os.Stderr, "aiacload: run %s ended %s: %s\n", id, rec.State, rec.Error)
+			continue
+		}
+		t0, err0 := time.Parse(time.RFC3339Nano, rec.SubmittedAt)
+		t1, err1 := time.Parse(time.RFC3339Nano, rec.FinishedAt)
+		if err0 != nil || err1 != nil {
+			fatalf("run %s: bad timestamps %q → %q", id, rec.SubmittedAt, rec.FinishedAt)
+		}
+		samples = append(samples, sample{lat: t1.Sub(t0), tenant: sub.tenant, followed: sub.followed})
+	}
+	if failed > 0 {
+		fatalf("%d of %d runs did not finish cleanly", failed, len(byID))
+	}
+
+	lats := make([]time.Duration, len(samples))
+	tenantSum := map[string]time.Duration{}
+	tenantN := map[string]int{}
+	var fSum, uSum time.Duration
+	fN, uN := 0, 0
+	for i, s := range samples {
+		lats[i] = s.lat
+		tenantSum[s.tenant] += s.lat
+		tenantN[s.tenant]++
+		if s.followed {
+			fSum += s.lat
+			fN++
+		} else {
+			uSum += s.lat
+			uN++
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	mean := meanDur(lats)
+	p50 := quantile(lats, 0.50)
+	p99 := quantile(lats, 0.99)
+
+	// Fairness: ratio of the slowest tenant's mean latency to the fastest's.
+	// 1.0 is perfectly fair; the round-robin dequeue should keep this tight.
+	fairness := 1.0
+	minT, maxT := time.Duration(-1), time.Duration(0)
+	for tn, sum := range tenantSum {
+		m := sum / time.Duration(tenantN[tn])
+		if minT < 0 || m < minT {
+			minT = m
+		}
+		if m > maxT {
+			maxT = m
+		}
+	}
+	if minT > 0 {
+		fairness = float64(maxT) / float64(minT)
+	}
+
+	// SSE overhead: extra latency on followed runs relative to unfollowed
+	// ones (0 = free). Only meaningful when both populations exist.
+	sseOverhead := 0.0
+	if fN > 0 && uN > 0 && uSum > 0 {
+		sseOverhead = float64(fSum)/float64(fN)/(float64(uSum)/float64(uN)) - 1
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"aiacload: %d runs in %v: mean %v p50 %v p99 %v, fairness %.3f, sse-overhead %+.3f (%d followed, %d MB streamed)\n",
+		len(samples), wall.Round(time.Millisecond), mean.Round(time.Microsecond),
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond),
+		fairness, sseOverhead, fN, sseBytes.Load()>>20)
+
+	// Benchmark-format record: the headline line carries the mean
+	// submit-to-done latency as ns/op with everything else as custom units
+	// benchjson keeps in the document's extra map, and a second /p99 line
+	// carries the tail latency as its ns/op so `benchjson -fail-above` can
+	// gate on p99 directly (it only compares ns/op).
+	prefix := fmt.Sprintf("Benchmark%s/runs=%d/tenants=%d/workers=%d", *name, *runs, *tenants, *workers)
+	fmt.Printf("goos: %s\ngoarch: %s\npkg: aiac/cmd/aiacload\n", runtime.GOOS, runtime.GOARCH)
+	fmt.Printf("%s-%d %d %.0f ns/op %.3f p50-ms %.3f p99-ms %.4f fairness %.4f sse-overhead %d peak-queued %.1f runs-per-s\n",
+		prefix, runtime.GOMAXPROCS(0),
+		len(samples), float64(mean.Nanoseconds()),
+		float64(p50.Microseconds())/1e3, float64(p99.Microseconds())/1e3,
+		fairness, sseOverhead, peakQueued,
+		float64(len(samples))/wall.Seconds())
+	fmt.Printf("%s/p99-%d %d %.0f ns/op\n",
+		prefix, runtime.GOMAXPROCS(0), len(samples), float64(p99.Nanoseconds()))
+}
+
+// runRecord mirrors the registry record fields aiacload needs.
+type runRecord struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Error       string `json:"error,omitempty"`
+	SubmittedAt string `json:"submitted_at"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+}
+
+func waitReady(c *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("service at %s not ready after %v", base, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// submitRun POSTs one spec, retrying with backoff on 429 so quota-limited
+// targets shed load instead of killing the driver. Returns the run ID and
+// how many times the submission was throttled.
+func submitRun(c *http.Client, base string, spec aiac.RunSpec) (string, int64, error) {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return "", 0, err
+	}
+	var retries int64
+	backoff := 5 * time.Millisecond
+	for {
+		resp, err := c.Post(base+"/runs", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return "", retries, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retries++
+			time.Sleep(backoff)
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusCreated {
+			return "", retries, fmt.Errorf("POST /runs: %s: %s", resp.Status, bytes.TrimSpace(body))
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil || out.ID == "" {
+			return "", retries, fmt.Errorf("POST /runs: bad response %q", body)
+		}
+		return out.ID, retries, nil
+	}
+}
+
+// followSSE reads a run's event stream to completion and returns the bytes
+// received. The server closes the stream at the terminal phase frame.
+func followSSE(c *http.Client, base, id string) (int64, error) {
+	resp, err := c.Get(base + "/runs/" + id + "/events")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("GET events: %s", resp.Status)
+	}
+	return io.Copy(io.Discard, bufio.NewReader(resp.Body))
+}
+
+func listRuns(c *http.Client, base string) (map[string]runRecord, error) {
+	resp, err := c.Get(base + "/runs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /runs: %s", resp.Status)
+	}
+	var recs []runRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		return nil, err
+	}
+	out := make(map[string]runRecord, len(recs))
+	for _, r := range recs {
+		out[r.ID] = r
+	}
+	return out, nil
+}
+
+func meanDur(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// quantile returns the q-th latency by nearest-rank on a sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aiacload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -9,11 +9,13 @@
 //	aiacreport -diff lb-off.jsonl lb-on.jsonl
 //	aiacreport -width 100 run.jsonl
 //	aiacrun -mode aiac -p 8 -lb -trace-csv run.csv && aiacreport -critical-path run.csv
+//	aiacreport -follow http://localhost:8080/runs/01JD.../events
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"aiac/internal/metrics"
@@ -28,16 +30,22 @@ func main() {
 		height   = flag.Int("height", 16, "plot height in rows")
 		critical = flag.Bool("critical-path", false, "treat the positional file as a trace CSV (aiacrun -trace-csv) and render its convergence critical path")
 		topN     = flag.Int("top", 10, "with -critical-path: how many longest path segments to list")
+		follow   = flag.Bool("follow", false, "treat the positional argument as a service SSE URL (GET /runs/{id}/events), stream it to completion and render the dashboard")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: aiacreport [-diff a.jsonl] [-width n] [-height n] run.jsonl\n"+
-			"       aiacreport -critical-path [-top n] trace.csv\n")
+			"       aiacreport -critical-path [-top n] trace.csv\n"+
+			"       aiacreport -follow http://host/runs/{id}/events\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *follow {
+		followRun(flag.Arg(0), report.Options{Width: *width, Height: *height})
+		return
 	}
 	if *critical {
 		f, err := os.Open(flag.Arg(0))
@@ -66,6 +74,39 @@ func main() {
 		return
 	}
 	fmt.Print(report.Render(run, opt))
+}
+
+// followRun streams a run's SSE dashboard feed (live or replayed) until
+// the stream ends, printing phase transitions as they arrive, then renders
+// the accumulated run.
+func followRun(url string, opt report.Options) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("%s: HTTP %s", url, resp.Status)
+	}
+	// ReadSSE consumes the body to EOF — for a live run that is the
+	// moment the service seals the stream at a terminal state.
+	frames, err := report.ReadSSE(resp.Body)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	run, phase, err := report.Accumulate(frames)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "aiacreport: stream ended after %d frames (phase %s)\n", len(frames), orDash(phase))
+	fmt.Print(report.Render(run, opt))
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func fatalf(format string, args ...any) {

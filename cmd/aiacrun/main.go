@@ -19,10 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"aiac"
@@ -204,6 +207,25 @@ func main() {
 		fatalf("tracing needs an in-process backend; the dist workers keep no shared trace log")
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM raises the engine's
+	// cancel flag, so the run winds down through the normal completion
+	// path — telemetry flushed, manifest sealed with outcome "canceled" —
+	// and aiacrun exits 130. A second signal gets the default handling
+	// (immediate kill). The dist backend has no cancel plumbing; there the
+	// default signal behavior stands.
+	var interrupted atomic.Bool
+	if backend != "dist" {
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-sigc
+			fmt.Fprintf(os.Stderr, "aiacrun: %v: canceling run (artifacts will be sealed; repeat to kill)\n", sig)
+			interrupted.Store(true)
+			signal.Stop(sigc)
+		}()
+		cfg.Cancel = interrupted.Load
+	}
+
 	var log *aiac.TraceLog
 	if *showTrace || *traceCSV != "" || *traceChrome != "" || *critPath {
 		log = &aiac.TraceLog{}
@@ -367,6 +389,7 @@ func main() {
 		if *critPath {
 			fmt.Fprint(os.Stderr, aiac.RenderCriticalPath(aiac.AnalyzeCriticalPath(log.Events()), 10))
 		}
+		exitFor(res)
 		return
 	}
 
@@ -378,6 +401,9 @@ func main() {
 		cfg.Mode, *clusterName, *p, *problemName, *n, backendNote)
 	fmt.Printf("  execution time   %.4f s (virtual)\n", res.Time)
 	fmt.Printf("  converged        %v (max residual %.3g)\n", res.Converged, res.MaxResidual)
+	if res.Canceled {
+		fmt.Printf("  canceled         run stopped by signal; partial artifacts are sealed\n")
+	}
 	fmt.Printf("  node iterations  %v\n", res.NodeIters)
 	fmt.Printf("  total work       %.3g units\n", res.TotalWork)
 	fmt.Printf("  boundary msgs    %d (suppressed %d)\n", res.BoundaryMsgs, res.SuppressedSnd)
@@ -398,6 +424,15 @@ func main() {
 	if *critPath {
 		fmt.Println()
 		fmt.Print(aiac.RenderCriticalPath(aiac.AnalyzeCriticalPath(log.Events()), 10))
+	}
+	exitFor(res)
+}
+
+// exitFor maps a canceled run to the conventional 128+SIGINT exit code,
+// after every artifact has been flushed.
+func exitFor(res *aiac.Result) {
+	if res.Canceled {
+		os.Exit(130)
 	}
 }
 

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"aiac/internal/metrics"
+)
+
+// buildAiacrun compiles the command once into a temp dir.
+func buildAiacrun(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aiacrun")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSigintSealsArtifacts: an interrupted run exits 130 with a flushed
+// JSONL whose manifest carries outcome canceled.
+func TestSigintSealsArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a child process")
+	}
+	bin := buildAiacrun(t)
+	metricsOut := filepath.Join(t.TempDir(), "run.jsonl")
+
+	// At speedup 0.05 this solve (~0.19 virtual s to convergence) needs
+	// close to 4 wall seconds — the interrupt at 300 ms lands mid-run.
+	cmd := exec.Command(bin,
+		"-mode", "aiac", "-p", "2", "-problem", "brusselator", "-n", "16",
+		"-backend", "rtime", "-speedup", "0.05", "-tol", "1e-300",
+		"-metrics", metricsOut)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let it get going
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("wait: %v (want exit error 130)", err)
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d, want 130", code)
+	}
+
+	run, rerr := metrics.ReadRunFile(metricsOut)
+	if rerr != nil {
+		t.Fatalf("interrupted run left unreadable telemetry: %v", rerr)
+	}
+	out := run.Manifest.Outcome
+	if out == nil {
+		t.Fatal("interrupted run's manifest has no sealed outcome")
+	}
+	if !out.Canceled || out.Converged {
+		t.Fatalf("outcome = %+v, want canceled", out)
+	}
+}

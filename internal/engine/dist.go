@@ -151,22 +151,18 @@ func writeFederatedView(cfg *Config, res *Result, info *dtime.RunInfo) error {
 		return err
 	}
 
-	var runs []*metrics.Run
+	var paths []string
 	for _, w := range info.Workers {
 		path := filepath.Join(w.StateDir, "metrics.jsonl")
 		if _, err := os.Stat(path); err != nil {
 			continue
 		}
-		r, err := metrics.ReadRunFile(path)
-		if err != nil {
-			return err
-		}
-		runs = append(runs, r)
+		paths = append(paths, path)
 	}
-	if len(runs) != len(info.Workers) {
+	if len(paths) != len(info.Workers) {
 		return nil // workers ran without telemetry export
 	}
-	merged, err := metrics.MergeRuns(runs)
+	merged, err := metrics.FederateRuns(paths)
 	if err != nil {
 		return err
 	}

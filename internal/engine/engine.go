@@ -175,6 +175,15 @@ type Config struct {
 	// virtual-time runtime.
 	Runner runenv.Runner
 
+	// Cancel, when non-nil, is polled during the run (between events under
+	// vtime, periodically under rtime); once it returns true the world
+	// stops and the Result comes back with Canceled set — partial state,
+	// sealed telemetry, outcome "canceled". The hook must be cheap and
+	// safe for concurrent use (an atomic flag read); it is how the service
+	// control plane and aiacrun's signal handler abort a running solve
+	// without losing its artifacts. The dist backend does not support it.
+	Cancel func() bool
+
 	// SimWorkers enables the conservative-lookahead parallel mode of the
 	// virtual-time scheduler: the engine partitions the processes into
 	// groups separated by a provable minimum link delay (see planGroups)
@@ -286,6 +295,9 @@ type Result struct {
 	Converged bool
 	// TimedOut is true when the MaxTime safety bound stopped the world.
 	TimedOut bool
+	// Canceled is true when Config.Cancel stopped the world before the
+	// detector halted it.
+	Canceled bool
 
 	// State[j] is the final trajectory of global component j.
 	State [][]float64
@@ -352,6 +364,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return res, err
 	}
+	// A run that converged before the stop took effect is a completed run,
+	// whatever the cancel flag says now.
+	res.Canceled = sched.canceled() && !res.Converged
 	var sim *metrics.SimManifest
 	if cfg.SimWorkers > 1 {
 		sim = sched.simManifest()
@@ -495,6 +510,7 @@ func finishMetrics(cfg *Config, res *Result, wallStart time.Time, sim *metrics.S
 		TraceDropped:  traceDropped,
 		Converged:     res.Converged,
 		TimedOut:      res.TimedOut,
+		Canceled:      res.Canceled,
 		Time:          res.Time,
 		WallSeconds:   time.Since(wallStart).Seconds(),
 		TotalIters:    res.TotalIters,
@@ -573,10 +589,11 @@ func buildRunenvConfig(cfg *Config, procs int) (runenv.Config, *fault.Injector) 
 	mapRank := cfg.mapRank
 	ser := grid.NewSerializer(cfg.Cluster)
 	rcfg := runenv.Config{
-		Procs:   procs,
-		Seed:    cfg.Seed,
-		Trace:   cfg.Trace,
-		MaxTime: cfg.MaxTime,
+		Procs:    procs,
+		Seed:     cfg.Seed,
+		Trace:    cfg.Trace,
+		MaxTime:  cfg.MaxTime,
+		Canceled: cfg.Cancel,
 		// Pre-size the scheduler's event containers: a handful of in-
 		// flight events per process is typical (halo sends, LB handshake,
 		// detection control).
@@ -657,6 +674,17 @@ func (w *world) run(bodies []runenv.Body) float64 {
 
 func (w *world) timedOut() bool {
 	return w.vtsch != nil && w.vtsch.TimedOut
+}
+
+// canceled reports whether Config.Cancel stopped the run. The virtual-time
+// scheduler records the stop reason exactly; the real-time runtime cannot
+// distinguish a cancel stop from a normal halt, so there the flag itself
+// decides (Run additionally clears the verdict when the run converged).
+func (w *world) canceled() bool {
+	if w.vtsch != nil {
+		return w.vtsch.Canceled
+	}
+	return w.cfg.Cancel != nil && w.cfg.Cancel()
 }
 
 // simManifest summarizes how a SimWorkers > 1 request actually executed —

@@ -9,6 +9,11 @@ import (
 )
 
 func TestDiagTable1Policy(t *testing.T) {
+	// A 30-solve diagnostic sweep (log table, no assertions) — far past
+	// the race-suite time budget on small hosts.
+	if raceEnabled {
+		t.Skip("diagnostic sweep skipped under -race")
+	}
 	bc := mkBruss(120, 1, 0.02, 1e-6)
 	cl := grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 100, MultiUser: true})
 	speeds := make([]float64, 15)

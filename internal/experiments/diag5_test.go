@@ -10,6 +10,11 @@ import (
 )
 
 func TestDiagComputeBound(t *testing.T) {
+	// A compute-bound diagnostic sweep (log table, no assertions) — far
+	// past the race-suite time budget on small hosts.
+	if raceEnabled {
+		t.Skip("diagnostic sweep skipped under -race")
+	}
 	// compute-bound sizing: 16 cells/node x 200 steps ≈ 8k units/sweep
 	bc := mkBruss(240, 2, 0.01, 1e-6)
 	cl := grid.HeteroGrid15(grid.HeteroGridConfig{Seed: 100, MultiUser: true})

@@ -66,6 +66,12 @@ func TestForEachPanicLowestIndex(t *testing.T) {
 // reports (every engine run is a pure function of its Config, and results
 // are collected by case index).
 func TestSerialParallelIdentical(t *testing.T) {
+	// Two full figure sweeps are far past the race-suite time budget on
+	// small hosts; the bit-identity contract itself is exercised every
+	// tier-1 run, un-instrumented.
+	if raceEnabled {
+		t.Skip("double experiment sweep skipped under -race")
+	}
 	defer SetWorkers(0)
 
 	SetWorkers(1)

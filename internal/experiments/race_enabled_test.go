@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with the race
+// detector (`go test -race` sets the "race" build tag).
+const raceEnabled = true

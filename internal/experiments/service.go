@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"sync"
+)
+
+// ServePool runs a persistent worker pool for a long-lived service: workers
+// goroutines repeatedly call next() for a job. next blocks until work is
+// available and returns (job, true) to hand one out, or (_, false) to shut
+// the pool down — every worker that sees false exits, so next must keep
+// returning false once closed. It is the service-mode counterpart of
+// forEach: same bounded-concurrency discipline, but fed by an open-ended
+// queue (the caller's next implements the queueing policy — e.g. the
+// control plane's per-tenant fair dequeue) instead of a fixed index range.
+//
+// workers <= 0 uses the experiment pool default (SetWorkers / GOMAXPROCS).
+// A panicking job is swallowed after the worker recovers, keeping the pool
+// alive; callers that need to observe failures wrap their jobs.
+//
+// The returned wait func blocks until all workers have exited.
+func ServePool(workers int, next func() (func(), bool)) (wait func()) {
+	if workers <= 0 {
+		workers = numWorkers()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				job, ok := next()
+				if !ok {
+					return
+				}
+				func() {
+					defer func() { recover() }()
+					job()
+				}()
+			}
+		}()
+	}
+	return wg.Wait
+}

@@ -120,8 +120,12 @@ type LBManifest struct {
 
 // Outcome is how the run ended, in both virtual and wall time.
 type Outcome struct {
-	Converged   bool    `json:"converged"`
-	TimedOut    bool    `json:"timed_out,omitempty"`
+	Converged bool `json:"converged"`
+	TimedOut  bool `json:"timed_out,omitempty"`
+	// Canceled marks a run stopped by an external cancel request (service
+	// DELETE, aiacrun signal handler) before convergence; its partial
+	// telemetry and manifest are still valid.
+	Canceled    bool    `json:"canceled,omitempty"`
 	Time        float64 `json:"time_seconds"`
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
 	TotalIters  int     `json:"total_iterations"`

@@ -110,6 +110,15 @@ type Sink struct {
 	// fills the rest and the outcome.
 	Manifest Manifest
 
+	// Listener, when non-nil, receives every accepted sample, every stored
+	// timeline event and the phase transitions as the run produces them —
+	// the feed behind live SSE dashboards. Callbacks are invoked from the
+	// runtime's own processes (concurrently under rtime and the parallel
+	// vtime scheduler), must be fast, and must not call back into the
+	// sink. A nil listener costs one pointer check per hook. Set it before
+	// Start.
+	Listener Listener
+
 	nodes  []nodeSeries
 	faults []Counter
 	// faultT[node] holds the injection times behind the faults counters;
@@ -153,6 +162,19 @@ const (
 	PhaseRunning = "running"
 	PhaseDone    = "done"
 )
+
+// Listener receives a run's telemetry live, as it is collected; see
+// Sink.Listener. Implementations must be safe for concurrent use.
+type Listener interface {
+	// LiveSample is called for every sample the sink accepts into a node's
+	// series (after thinning/period filtering, IdleFrac resolved).
+	LiveSample(node int, sm NodeSample)
+	// LiveEvent is called for every stored timeline event.
+	LiveEvent(ev Event)
+	// LivePhase is called on phase transitions (PhaseRunning at Start,
+	// PhaseDone at FinishRun).
+	LivePhase(phase string)
+}
 
 // Phase reports where the run is: "idle" before Start, "running" until
 // FinishRun, "done" after. Safe to call concurrently with the run.
@@ -199,6 +221,9 @@ func (s *Sink) Start(p int) {
 	s.faultT = make([][]float64, p)
 	s.live = make([]liveNode, p)
 	s.phase.Store(1)
+	if s.Listener != nil {
+		s.Listener.LivePhase(PhaseRunning)
+	}
 	s.mu.Lock()
 	if len(s.evs) < p+1 {
 		s.evs = make([]eventStream, p+1)
@@ -248,6 +273,9 @@ func (s *Sink) Sample(rank int, sm NodeSample) {
 	if len(ns.samples) >= s.Cap {
 		ns.thin()
 	}
+	if s.Listener != nil {
+		s.Listener.LiveSample(rank, sm)
+	}
 }
 
 // thin halves the buffer (keeping every second sample, newest last) and
@@ -292,12 +320,16 @@ func (s *Sink) Event(t float64, node int, name, detail string) {
 		s.evs = grown
 	}
 	st := &s.evs[idx]
-	if len(st.events) >= ecap {
+	stored := len(st.events) < ecap
+	if !stored {
 		st.dropped++
 	} else {
 		st.events = append(st.events, Event{T: t, Node: node, Name: name, Detail: detail})
 	}
 	s.mu.Unlock()
+	if stored && s.Listener != nil {
+		s.Listener.LiveEvent(Event{T: t, Node: node, Name: name, Detail: detail})
+	}
 }
 
 // CountFault records one injected fault on the given destination node's
@@ -349,6 +381,9 @@ func (s *Sink) FinishRun(out Outcome) {
 	s.fmu.Lock()
 	defer s.fmu.Unlock()
 	s.Manifest.Outcome = &out
+	if s.Listener != nil {
+		s.Listener.LivePhase(PhaseDone)
+	}
 	for r := range s.nodes {
 		times := s.faultT[r]
 		sort.Float64s(times)

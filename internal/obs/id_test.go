@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestNewIDShapeAndOrder(t *testing.T) {
+	t0 := time.UnixMilli(1700000000000)
+	var ids []string
+	for i := 0; i < 1000; i++ {
+		// Same and advancing milliseconds both occur.
+		id := NewID(t0.Add(time.Duration(i/3) * time.Millisecond))
+		if !ValidID(id) {
+			t.Fatalf("NewID produced invalid id %q", id)
+		}
+		ids = append(ids, id)
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Fatal("ids are not lexicographically ordered by issue time")
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNewIDTimestampPrefix(t *testing.T) {
+	// Two ids a minute apart must differ in their time prefix.
+	a := NewID(time.UnixMilli(1700000000000))
+	b := NewID(time.UnixMilli(1700000060000))
+	if a[:10] == b[:10] {
+		t.Fatalf("time prefix did not advance: %q vs %q", a, b)
+	}
+}
+
+func TestValidID(t *testing.T) {
+	good := NewID(time.Now())
+	if !ValidID(good) {
+		t.Fatalf("fresh id %q rejected", good)
+	}
+	for _, bad := range []string{
+		"", "short", good + "X",
+		"IIIIIIIIIIIIIIIIIIIIIIIIII", // I is not Crockford
+		"zzzzzzzzzzzzzzzzzzzzzzzzzz", // lowercase
+		"8ZZZZZZZZZZZZZZZZZZZZZZZZZ", // >7 leading char overflows 128 bits
+	} {
+		if ValidID(bad) {
+			t.Fatalf("ValidID accepted %q", bad)
+		}
+	}
+}

@@ -1,13 +1,20 @@
-// Package obs is the live observability plane: a small HTTP server that
-// exposes a run's metrics.Sink while the run is in progress.
+// Package obs is the observability and control plane. Two serving modes
+// share the HTTP plumbing:
+//
+// The single-run plane (Serve) exposes one running solve's metrics.Sink:
 //
 //	/metrics        Prometheus text exposition of the sink's live state
 //	/healthz        JSON {phase, max_residual} for liveness probes
+//	/readyz         readiness (the listener is bound, scrapes are live)
 //	/manifest       the run manifest as JSON (config echo, host, outcome)
 //	/debug/pprof/*  the standard net/http/pprof profiles
 //
-// Everything the handlers read is atomic on the sink side, so scrapes are
-// safe concurrently with a running engine under either runtime.
+// The service plane (NewService + ServeService) is solver-as-a-service: a
+// durable run registry, a per-tenant fair-queuing scheduler over a bounded
+// worker pool, and live SSE dashboards — see Service for the API.
+//
+// Everything the single-run handlers read is atomic on the sink side, so
+// scrapes are safe concurrently with a running engine under either runtime.
 package obs
 
 import (
@@ -33,31 +40,59 @@ type Server struct {
 
 // Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and starts serving in a
 // background goroutine. The returned server keeps running until Close.
+// Serve returns only after the listener is bound, so a non-error return
+// means probes of /readyz succeed: readiness is never reported before the
+// socket exists.
 func Serve(addr string, sink *metrics.Sink) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
-	s := &Server{sink: sink, ln: ln, done: make(chan struct{})}
+	s := &Server{sink: sink}
 
 	// An explicit mux rather than http.DefaultServeMux: importing pprof for
 	// its handlers only, so a library user's default mux stays untouched.
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/manifest", s.handleManifest)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	registerPprof(mux)
 
+	if err := s.start(addr, mux); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// serveMux binds addr and serves mux in the background. The net.Listen
+// happens synchronously — callers advertise the address only after it is
+// real.
+func serveMux(addr string, mux *http.ServeMux) (*Server, error) {
+	s := &Server{}
+	if err := s.start(addr, mux); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) start(addr string, mux *http.ServeMux) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.done = make(chan struct{})
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		defer close(s.done)
 		s.srv.Serve(ln)
 	}()
-	return s, nil
+	return nil
+}
+
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -103,4 +138,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Phase:       s.sink.Phase(),
 		MaxResidual: s.sink.LiveResidual(),
 	})
+}
+
+// handleReadyz is the single-run plane's readiness probe, distinct from
+// /healthz: liveness says the process is up, readiness says the endpoints
+// are meaningfully scrapeable. Serve binds the listener before returning,
+// so any reachable /readyz is truthfully ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"ready": true, "phase": s.sink.Phase()})
 }

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"aiac/internal/metrics"
+)
+
+// The run registry is the durable half of the control plane: one directory
+// per run under the registry root, named by the run's ULID, holding
+//
+//	manifest.json   the RunRecord (spec, tenant, state, timestamps, outcome)
+//	metrics.jsonl   the run's telemetry export (written when the run ends)
+//	report.txt      the rendered dashboard (written when the run ends)
+//
+// The in-memory index is rebuilt from the manifest.json sidecars on open,
+// so a restarted service recovers every completed run; runs that were
+// queued or running when the previous process died are marked "lost" —
+// their worker is gone, and an honest terminal state beats a forever-stale
+// "running".
+
+// RunState is a run's lifecycle state.
+type RunState string
+
+const (
+	StateQueued   RunState = "queued"
+	StateRunning  RunState = "running"
+	StateDone     RunState = "done"     // finished (converged or not; see Outcome)
+	StateFailed   RunState = "failed"   // the solver returned an error or panicked
+	StateCanceled RunState = "canceled" // stopped by DELETE before finishing
+	StateLost     RunState = "lost"     // non-terminal at a previous process's death
+)
+
+// Terminal reports whether the state is final.
+func (s RunState) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateLost:
+		return true
+	}
+	return false
+}
+
+// RunRecord is the registry's view of one run: everything a client needs to
+// list, inspect or resubmit it. It is the manifest.json sidecar, verbatim.
+type RunRecord struct {
+	ID     string   `json:"id"`
+	Tenant string   `json:"tenant"`
+	State  RunState `json:"state"`
+	// Timestamps are wall-clock RFC 3339 with nanoseconds; the load driver
+	// computes submit-to-converged latency from them server-side.
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// Error holds the failure message for StateFailed.
+	Error string `json:"error,omitempty"`
+	// Spec is the submitted configuration, defaults filled.
+	Spec RunSpec `json:"spec"`
+	// Outcome is copied from the sealed telemetry manifest when the run
+	// ends, so list responses answer "did it converge" without opening
+	// the JSONL export.
+	Outcome *metrics.Outcome `json:"outcome,omitempty"`
+}
+
+// Registry is the durable run index. All methods are safe for concurrent
+// use.
+type Registry struct {
+	root string
+
+	mu   sync.Mutex
+	runs map[string]*RunRecord
+}
+
+// OpenRegistry creates root if needed and rebuilds the index from the
+// manifest sidecars already there (see Rescan).
+func OpenRegistry(root string) (*Registry, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: registry root: %w", err)
+	}
+	r := &Registry{root: root, runs: map[string]*RunRecord{}}
+	if err := r.Rescan(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Root returns the registry root directory.
+func (r *Registry) Root() string { return r.root }
+
+// Dir returns the artifact directory of a run.
+func (r *Registry) Dir(id string) string { return filepath.Join(r.root, id) }
+
+// Rescan rebuilds the in-memory index from disk. Directories whose name is
+// not a ULID or that hold no parseable manifest.json are skipped;
+// recovered runs in a non-terminal state are marked lost (and the demotion
+// is written back, so the next rescan agrees).
+func (r *Registry) Rescan() error {
+	entries, err := os.ReadDir(r.root)
+	if err != nil {
+		return fmt.Errorf("obs: rescan: %w", err)
+	}
+	runs := map[string]*RunRecord{}
+	for _, e := range entries {
+		if !e.IsDir() || !ValidID(e.Name()) {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(r.root, e.Name(), "manifest.json"))
+		if err != nil {
+			continue // half-written run dir: ignore
+		}
+		rec := &RunRecord{}
+		if err := json.Unmarshal(b, rec); err != nil || rec.ID != e.Name() {
+			continue
+		}
+		if !rec.State.Terminal() {
+			rec.State = StateLost
+			writeRecord(r.Dir(rec.ID), rec) // best-effort demotion
+		}
+		runs[rec.ID] = rec
+	}
+	r.mu.Lock()
+	r.runs = runs
+	r.mu.Unlock()
+	return nil
+}
+
+// Put creates or updates a run's record, durably (atomic tmp+rename of its
+// manifest.json) and in the index.
+func (r *Registry) Put(rec *RunRecord) error {
+	dir := r.Dir(rec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeRecord(dir, rec); err != nil {
+		return err
+	}
+	cp := *rec
+	r.mu.Lock()
+	r.runs[rec.ID] = &cp
+	r.mu.Unlock()
+	return nil
+}
+
+func writeRecord(dir string, rec *RunRecord) error {
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ".manifest.json.tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "manifest.json"))
+}
+
+// Get returns a copy of a run's record.
+func (r *Registry) Get(id string) (RunRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.runs[id]
+	if !ok {
+		return RunRecord{}, false
+	}
+	return *rec, true
+}
+
+// List returns all records sorted by ID (= submission order, ULIDs being
+// time-ordered), optionally filtered by tenant and/or state ("" = any).
+func (r *Registry) List(tenant string, state RunState) []RunRecord {
+	r.mu.Lock()
+	out := make([]RunRecord, 0, len(r.runs))
+	for _, rec := range r.runs {
+		if tenant != "" && rec.Tenant != tenant {
+			continue
+		}
+		if state != "" && rec.State != state {
+			continue
+		}
+		out = append(out, *rec)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LoadRun reads a run's telemetry export.
+func (r *Registry) LoadRun(id string) (*metrics.Run, error) {
+	return metrics.ReadRunFile(filepath.Join(r.Dir(id), "metrics.jsonl"))
+}

@@ -1,0 +1,459 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aiac/internal/engine"
+	"aiac/internal/experiments"
+	"aiac/internal/metrics"
+	"aiac/internal/report"
+	"aiac/internal/trace"
+)
+
+// The scheduler multiplexes submitted runs over a bounded worker pool
+// (experiments.ServePool). Queuing is fair per tenant: each tenant has a
+// FIFO queue and a round-robin cursor walks the tenants, so a tenant
+// dumping 10k runs cannot starve one submitting a single solve. Two quota
+// knobs bound a tenant's footprint: MaxQueuedPerTenant rejects submissions
+// at the door (HTTP 429), MaxRunningPerTenant caps in-flight runs (the
+// cursor skips saturated tenants; their queue drains as their runs finish).
+
+// SchedulerConfig tunes the run scheduler.
+type SchedulerConfig struct {
+	// Workers is the solver pool size (<= 0: the experiments default,
+	// GOMAXPROCS).
+	Workers int
+	// MaxQueuedPerTenant rejects a submission when the tenant already has
+	// this many queued runs (<= 0: unlimited).
+	MaxQueuedPerTenant int
+	// MaxRunningPerTenant caps a tenant's concurrently running solves
+	// (<= 0: unlimited).
+	MaxRunningPerTenant int
+}
+
+// ErrQueueFull is returned by Submit when the tenant's queue quota is hit.
+type ErrQueueFull struct{ Tenant string }
+
+func (e ErrQueueFull) Error() string {
+	return fmt.Sprintf("obs: tenant %q queue is full", e.Tenant)
+}
+
+type job struct {
+	id     string
+	tenant string
+	spec   RunSpec
+	cfg    engine.Config
+	sink   *metrics.Sink
+	cancel atomic.Bool
+	stream *liveStream
+}
+
+// Scheduler runs submitted specs on a worker pool, persisting lifecycle
+// and artifacts through a Registry.
+type Scheduler struct {
+	reg *Registry
+	cfg SchedulerConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[string][]*job // per-tenant FIFO
+	ring    []string          // round-robin tenant order (insertion order)
+	cursor  int
+	queued  map[string]int // per-tenant queued count
+	running map[string]int // per-tenant running count
+	jobs    map[string]*job
+	closed  bool
+
+	wait func()
+}
+
+// NewScheduler starts the worker pool.
+func NewScheduler(reg *Registry, cfg SchedulerConfig) *Scheduler {
+	s := &Scheduler{
+		reg:     reg,
+		cfg:     cfg,
+		queues:  map[string][]*job{},
+		queued:  map[string]int{},
+		running: map[string]int{},
+		jobs:    map[string]*job{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wait = experiments.ServePool(cfg.Workers, s.next)
+	return s
+}
+
+// Close stops the pool after the running jobs finish; queued jobs stay
+// queued on disk (a restart marks them lost). It does not cancel running
+// solves — the service cancels them first when shutting down hard.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wait()
+}
+
+// Submit validates the spec, persists the queued record and enqueues the
+// run. It returns the new run ID.
+func (s *Scheduler) Submit(spec RunSpec) (string, error) {
+	spec = spec.withDefaults()
+	cfg, sink, err := spec.BuildConfig()
+	if err != nil {
+		return "", err
+	}
+	j := &job{
+		tenant: spec.Tenant,
+		spec:   spec,
+		cfg:    cfg,
+		sink:   sink,
+		stream: newLiveStream(),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", fmt.Errorf("obs: scheduler is shut down")
+	}
+	if s.cfg.MaxQueuedPerTenant > 0 && s.queued[spec.Tenant] >= s.cfg.MaxQueuedPerTenant {
+		s.mu.Unlock()
+		return "", ErrQueueFull{Tenant: spec.Tenant}
+	}
+	// Reserve the quota slot and allocate the ID inside the lock (IDs are
+	// monotonic, so submission order and ID order agree even under
+	// concurrent submitters), but enqueue only after the queued record is
+	// durable — a worker must never pick up a run the registry cannot
+	// report.
+	j.id = NewID(time.Now())
+	s.queued[spec.Tenant]++
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	rec := &RunRecord{
+		ID: j.id, Tenant: spec.Tenant, State: StateQueued,
+		SubmittedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Spec:        spec,
+	}
+	if err := s.reg.Put(rec); err != nil {
+		s.mu.Lock()
+		s.queued[spec.Tenant]--
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		j.stream.close()
+		return "", err
+	}
+
+	s.mu.Lock()
+	if _, ok := s.queues[spec.Tenant]; !ok {
+		s.ring = append(s.ring, spec.Tenant)
+	}
+	s.queues[spec.Tenant] = append(s.queues[spec.Tenant], j)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return j.id, nil
+}
+
+// remove drops a queued job (registry record untouched). Returns the job
+// if it was still queued.
+func (s *Scheduler) remove(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	q := s.queues[j.tenant]
+	for i, qj := range q {
+		if qj == j {
+			s.queues[j.tenant] = append(q[:i], q[i+1:]...)
+			s.queued[j.tenant]--
+			delete(s.jobs, id)
+			return j
+		}
+	}
+	return nil // already running
+}
+
+// Cancel requests cancellation of a run. A queued run is dequeued and
+// marked canceled immediately; a running run gets its cancel flag raised
+// and reaches a terminal state when the solver notices (between events —
+// promptly). Returns false if the run is unknown or already terminal.
+func (s *Scheduler) Cancel(id string) bool {
+	if j := s.remove(id); j != nil {
+		if rec, ok := s.reg.Get(id); ok {
+			rec.State = StateCanceled
+			rec.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+			s.reg.Put(&rec)
+		}
+		j.stream.close()
+		return true
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.cancel.Store(true)
+	return true
+}
+
+// Stream returns the live frame stream of a queued or running run, nil if
+// the run is unknown or already finished (finished runs replay from disk).
+func (s *Scheduler) Stream(id string) *liveStream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j.stream
+	}
+	return nil
+}
+
+// QueueDepths snapshots per-tenant queued counts (for /readyz detail and
+// tests).
+func (s *Scheduler) QueueDepths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.queued))
+	for t, n := range s.queued {
+		if n > 0 {
+			out[t] = n
+		}
+	}
+	return out
+}
+
+// next is the ServePool feed: block until a job is runnable under the
+// fairness policy, then hand out its execution closure.
+func (s *Scheduler) next() (func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil, false
+		}
+		if j := s.dequeueLocked(); j != nil {
+			s.running[j.tenant]++
+			return func() { s.execute(j) }, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// dequeueLocked walks the tenant ring from the cursor and pops the head of
+// the first non-empty queue whose tenant has running capacity. Advancing
+// the cursor past the chosen tenant gives round-robin fairness.
+func (s *Scheduler) dequeueLocked() *job {
+	n := len(s.ring)
+	for k := 0; k < n; k++ {
+		t := s.ring[(s.cursor+k)%n]
+		if len(s.queues[t]) == 0 {
+			continue
+		}
+		if s.cfg.MaxRunningPerTenant > 0 && s.running[t] >= s.cfg.MaxRunningPerTenant {
+			continue
+		}
+		j := s.queues[t][0]
+		s.queues[t] = s.queues[t][1:]
+		s.queued[t]--
+		s.cursor = (s.cursor + k + 1) % n
+		return j
+	}
+	return nil
+}
+
+// execute runs one job to a terminal state: record running, solve with the
+// live stream attached, write artifacts, record the outcome, close the
+// stream, release the tenant slot.
+func (s *Scheduler) execute(j *job) {
+	defer func() {
+		s.mu.Lock()
+		s.running[j.tenant]--
+		delete(s.jobs, j.id)
+		s.cond.Broadcast() // a tenant slot freed: retry skipped queues
+		s.mu.Unlock()
+	}()
+
+	rec, ok := s.reg.Get(j.id)
+	if !ok {
+		j.stream.close()
+		return
+	}
+	rec.State = StateRunning
+	rec.StartedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	s.reg.Put(&rec)
+
+	j.sink.Listener = &streamListener{sink: j.sink, stream: j.stream}
+	j.cfg.Metrics = j.sink
+	j.cfg.Cancel = j.cancel.Load
+	var tlog *trace.Log
+	if j.spec.Trace {
+		tlog = &trace.Log{}
+		if j.spec.TraceCap > 0 {
+			tlog.SetCap(j.spec.TraceCap)
+		}
+		j.cfg.Trace = tlog
+	}
+
+	res, err := func() (res *engine.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("solver panic: %v", r)
+			}
+		}()
+		return engine.Run(j.cfg)
+	}()
+
+	rec.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	switch {
+	case err != nil:
+		rec.State = StateFailed
+		rec.Error = err.Error()
+	case res.Canceled:
+		rec.State = StateCanceled
+	default:
+		rec.State = StateDone
+	}
+	if err == nil {
+		run := j.sink.Snapshot()
+		rec.Outcome = run.Manifest.Outcome
+		if werr := writeArtifacts(s.reg.Dir(j.id), run, tlog); werr != nil {
+			rec.State = StateFailed
+			rec.Error = werr.Error()
+		}
+		// Seal the live stream with the canonical tail so followers see
+		// the same closing frames a replay would. The manifest is re-sent
+		// because the opening copy (captured at Start) predates the sealed
+		// outcome; accumulators keep the last manifest seen.
+		j.stream.append(report.ManifestFrame(run.Manifest))
+		j.stream.append(report.RuntimeFrame(run))
+		j.stream.append(report.PhaseFrame(metrics.PhaseDone))
+	}
+	s.reg.Put(&rec)
+	j.stream.close()
+}
+
+// writeArtifacts exports the run's telemetry, rendered dashboard and (when
+// traced) execution trace into its registry directory.
+func writeArtifacts(dir string, run *metrics.Run, tlog *trace.Log) error {
+	f, err := os.Create(filepath.Join(dir, "metrics.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := run.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if tlog != nil {
+		tf, err := os.Create(filepath.Join(dir, "trace.csv"))
+		if err != nil {
+			return err
+		}
+		if err := tlog.WriteCSV(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "report.txt"),
+		[]byte(report.Render(run, report.Options{})), 0o644)
+}
+
+// streamListener adapts metrics.Sink's live hooks to SSE frames. The first
+// frame (on the run's Start) is the manifest echo, so a follower attached
+// before the run starts sees the same opening a replay produces.
+type streamListener struct {
+	sink   *metrics.Sink
+	stream *liveStream
+}
+
+func (l *streamListener) LivePhase(phase string) {
+	if phase == metrics.PhaseRunning {
+		l.stream.append(report.ManifestFrame(l.sink.ManifestSnapshot()))
+	}
+	l.stream.append(report.PhaseFrame(phase))
+}
+
+func (l *streamListener) LiveSample(node int, sm metrics.NodeSample) {
+	l.stream.append(report.SampleFrame(node, sm))
+}
+
+func (l *streamListener) LiveEvent(ev metrics.Event) {
+	l.stream.append(report.EventFrame(ev))
+}
+
+// liveStream is a grow-only frame buffer with change notification: SSE
+// handlers replay frames[i:] and wait for more until closed. Appends come
+// from solver goroutines (concurrent under rtime and the parallel vtime
+// scheduler), reads from HTTP handlers.
+type liveStream struct {
+	mu     sync.Mutex
+	frames []report.Frame
+	closed bool
+	subs   map[chan struct{}]struct{}
+}
+
+func newLiveStream() *liveStream {
+	return &liveStream{subs: map[chan struct{}]struct{}{}}
+}
+
+func (ls *liveStream) append(f report.Frame) {
+	ls.mu.Lock()
+	if ls.closed {
+		ls.mu.Unlock()
+		return
+	}
+	ls.frames = append(ls.frames, f)
+	ls.notifyLocked()
+	ls.mu.Unlock()
+}
+
+func (ls *liveStream) close() {
+	ls.mu.Lock()
+	ls.closed = true
+	ls.notifyLocked()
+	ls.mu.Unlock()
+}
+
+func (ls *liveStream) notifyLocked() {
+	for ch := range ls.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already pending
+		}
+	}
+}
+
+// subscribe registers a wakeup channel; call unsubscribe when done.
+func (ls *liveStream) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	ls.mu.Lock()
+	ls.subs[ch] = struct{}{}
+	ls.mu.Unlock()
+	return ch
+}
+
+func (ls *liveStream) unsubscribe(ch chan struct{}) {
+	ls.mu.Lock()
+	delete(ls.subs, ch)
+	ls.mu.Unlock()
+}
+
+// snapshot returns frames[from:] and whether the stream is closed.
+func (ls *liveStream) snapshot(from int) ([]report.Frame, bool) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if from >= len(ls.frames) {
+		return nil, ls.closed
+	}
+	return ls.frames[from:len(ls.frames):len(ls.frames)], ls.closed
+}

@@ -120,6 +120,9 @@ func writeHeader(b *strings.Builder, run *metrics.Run) {
 	if !out.Converged {
 		status = "DID NOT CONVERGE"
 	}
+	if out.Canceled {
+		status = "CANCELED"
+	}
 	if out.TimedOut {
 		status += " (timed out)"
 	}

@@ -98,6 +98,28 @@ func (r Runner) Run(cfg runenv.Config, bodies []runenv.Body) float64 {
 	if cfg.MaxTime > 0 {
 		watchdog = time.AfterFunc(w.toWall(cfg.MaxTime), func() { w.stop() })
 	}
+	if cfg.Canceled != nil {
+		// Cancellation poller: the real-time runtime has no between-event
+		// seam, so poll the flag on a short wall-clock period and stop the
+		// world like the watchdog does.
+		pollDone := make(chan struct{})
+		defer close(pollDone)
+		go func() {
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-pollDone:
+					return
+				case <-tick.C:
+					if cfg.Canceled() {
+						w.stop()
+						return
+					}
+				}
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for i := range bodies {
 		wg.Add(1)

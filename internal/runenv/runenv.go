@@ -128,6 +128,14 @@ type Config struct {
 	Trace *trace.Log
 	// MaxTime, when > 0, stops the world when the clock passes it.
 	MaxTime float64
+	// Canceled, when non-nil, is polled by the runtimes (between events
+	// under vtime, periodically in wall time under rtime); once it returns
+	// true the world stops exactly like a MaxTime stop. The hook must be
+	// cheap and safe to call concurrently with the run — an atomic flag
+	// read is the intended implementation. Because cancellation originates
+	// outside the modeled world, the stop point of a canceled run is not
+	// deterministic; everything up to the stop still is.
+	Canceled func() bool
 
 	// The fields below enable the conservative-lookahead parallel mode of
 	// the virtual-time scheduler (internal/vtime/parallel.go). They are

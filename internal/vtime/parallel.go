@@ -248,6 +248,12 @@ func (s *Scheduler) runParallel() float64 {
 			s.stopWorld()
 			break
 		}
+		if s.cfg.Canceled != nil && s.cfg.Canceled() {
+			s.flushSideEffects(math.Inf(1))
+			s.Canceled = true
+			s.stopWorld()
+			break
+		}
 		active := s.planWindow()
 		if len(active) == 0 {
 			// Every group's earliest event sits at or past its own

@@ -237,6 +237,8 @@ type Scheduler struct {
 	Deadlocked bool
 	// TimedOut is set when the run was stopped by cfg.MaxTime.
 	TimedOut bool
+	// Canceled is set when the run was stopped by cfg.Canceled.
+	Canceled bool
 	// fifo tracks the last arrival time per (from,to) pair — flat,
 	// fifo[from*procs+to] — to keep per-pair delivery FIFO even if the
 	// delay model is not monotone in message size. Each row is written only
@@ -279,6 +281,11 @@ func (s *Scheduler) Run(bodies []runenv.Body) float64 {
 		}
 		if s.cfg.MaxTime > 0 && g.events[0].t > s.cfg.MaxTime {
 			s.TimedOut = true
+			s.stopWorld()
+			break
+		}
+		if s.cfg.Canceled != nil && s.cfg.Canceled() {
+			s.Canceled = true
 			s.stopWorld()
 			break
 		}
