@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-diff bench-par bench-svc bench-svc-record check test-faults test-par test-dist test-svc fmt-check report critpath cover
+.PHONY: build test vet race bench bench-json bench-diff bench-par bench-svc bench-svc-record bench-trace-dist bench-trace-dist-record check test-faults test-par test-dist test-svc test-trace-dist fmt-check report critpath cover
 
 build:
 	$(GO) build ./...
@@ -122,6 +122,31 @@ test-dist:
 	$(GO) test -race -timeout 30m ./internal/fault/ -run 'TestConn'
 	$(GO) test -race -timeout 30m ./internal/engine/ -run 'TestDist'
 
+# The federated-tracing acceptance suite under -race: federation validation,
+# clock-offset normalization, lost/duplicate wire rewrites, byte-determinism
+# of the merged exports, and the end-to-end dist critical path with
+# wire-transit blame (see DESIGN.md §13).
+test-trace-dist:
+	$(GO) test -race -timeout 30m ./internal/trace/
+	$(GO) test -race -timeout 30m ./internal/engine/ -run 'TestDistTrace'
+
+# Tracing-overhead gate: the same loopback dist solve with tracing off and
+# on, diffed against the committed BENCH_7.json record (whose trace=on/off
+# ns/op pair documents the tax — it must stay under 5%). Set
+# BENCH_TRACE_GATE to a ratio (e.g. 1.25) to fail when either op regresses
+# past it; keep it unset on hosts that don't match the record's num_cpu.
+BENCH_TRACE_GATE ?=
+bench-trace-dist:
+	$(GO) test -run NONE -bench DistTraceOverhead -benchtime 5x -benchmem . | \
+		$(GO) run ./cmd/benchjson -diff BENCH_7.json \
+			$(if $(BENCH_TRACE_GATE),-fail-above $(BENCH_TRACE_GATE))
+
+# Regenerate the committed tracing-overhead record on this host.
+bench-trace-dist-record:
+	$(GO) test -run NONE -bench DistTraceOverhead -benchtime 5x -benchmem . | \
+		$(GO) run ./cmd/benchjson -o BENCH_7.json \
+			-note "distributed tracing overhead: loopback dist solve pair, trace off/on (SISC n=64, speedup 1; tax must stay <5%)"
+
 # Coverage gate: the trace layer (causal schema, Chrome export, critical-path
 # analysis) must stay >= 80% covered.
 COVER_MIN ?= 80
@@ -132,4 +157,4 @@ cover:
 	awk -v p="$$pct" -v min="$(COVER_MIN)" 'BEGIN {exit !(p+0 < min+0)}' && \
 		{ echo "FAIL: internal/trace coverage $$pct% < $(COVER_MIN)%"; exit 1; } || true
 
-check: build fmt-check vet test test-faults test-par test-dist test-svc race
+check: build fmt-check vet test test-faults test-par test-dist test-trace-dist test-svc race

@@ -332,18 +332,33 @@ func ReadMetricsRun(path string) (*MetricsRun, error) { return metrics.ReadRunFi
 // TraceEvent is one causally-tagged execution event of a TraceLog.
 type TraceEvent = trace.Event
 
-// WriteTraceCSV exports a trace in the stable CSV schema (11 columns with
-// the causal fields; see internal/trace.WriteCSV).
+// WriteTraceCSV exports a trace in the stable CSV schema (12 columns with
+// the causal fields and the process index; see internal/trace.WriteCSV).
 func WriteTraceCSV(l *TraceLog, w io.Writer) error { return l.WriteCSV(w) }
 
-// ReadTraceCSV parses a trace CSV export (both the 7-column pre-causal and
-// the current 11-column schema).
+// ReadTraceCSV parses a trace CSV export (the 7-column pre-causal, the
+// 11-column pre-federation and the current 12-column schema).
 func ReadTraceCSV(r io.Reader) ([]TraceEvent, error) { return trace.ReadCSV(r) }
 
 // WriteChromeTrace exports a trace in the Chrome trace-event JSON format,
 // loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
-// Messages become flow arrows between node tracks.
+// Messages become flow arrows between node tracks; a federated distributed
+// trace renders one Chrome process per OS process, with flow arrows crossing
+// process tracks wherever a message crossed the wire.
 func WriteChromeTrace(l *TraceLog, w io.Writer) error { return trace.WriteChrome(l, w) }
+
+// ProcTrace is one process's contribution to a federated distributed trace;
+// see FederateTraces.
+type ProcTrace = trace.ProcTrace
+
+// FederateTraces merges the per-worker causal logs and the coordinator's
+// wire log of one distributed run into a single global trace, normalizing
+// every process onto one clock and collapsing cross-process sends into Wire
+// spans. SolveDist does this automatically when Config.Trace is set; the
+// explicit entry point serves offline federation of exported worker logs.
+func FederateTraces(workers []ProcTrace, coord *ProcTrace) (*TraceLog, error) {
+	return trace.Federate(workers, coord)
+}
 
 // CriticalPath is a run's convergence critical path: the happens-before
 // chain of compute spans, message transits and LB transfers that ends at the

@@ -187,11 +187,41 @@ func main() {
 		fatalf("unknown backend %q (want vtime, rtime or dist)", backend)
 	}
 
+	// setupTrace attaches a fresh trace log to cfg when any trace surface
+	// was requested. Both halves of a dist run call it: every worker keeps
+	// its own log (shipped to the coordinator at outcome time), and the
+	// coordinator's log receives the federated stream.
+	wantTrace := *showTrace || *traceCSV != "" || *traceChrome != "" || *critPath
+	setupTrace := func(cfg *aiac.Config) *aiac.TraceLog {
+		log := &aiac.TraceLog{}
+		if *traceCap > 0 {
+			log.SetCap(*traceCap)
+		}
+		cfg.Trace = log
+		// The Gantt chart defaults to the first few iterations, but the trace
+		// exports and the critical-path analysis need the whole run, so the
+		// -trace-iters default only applies when just -trace asked for the log.
+		iters := *traceIters
+		if !*showTrace {
+			iters = 0
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "trace-iters" {
+					iters = *traceIters
+				}
+			})
+		}
+		cfg.TraceIters = iters
+		return log
+	}
+
 	// Hidden worker mode: a dist coordinator re-execs this binary with the
 	// worker identity in the environment. The flags above rebuilt the exact
 	// Config the coordinator holds; everything past this point (tracing,
 	// profiles, result printing) is coordinator business.
 	if env := os.Getenv(aiac.DistEnvVar); env != "" {
+		if wantTrace {
+			setupTrace(&cfg)
+		}
 		runDistWorker(env, cfg, *speedup, *metricsOut != "", *httpAddr != "", func(sink *aiac.MetricsSink) {
 			sink.Period = *metricsPer
 			sink.Manifest.Name = "aiacrun"
@@ -202,9 +232,6 @@ func main() {
 			}
 		})
 		return
-	}
-	if backend == "dist" && (*showTrace || *traceCSV != "" || *traceChrome != "" || *critPath) {
-		fatalf("tracing needs an in-process backend; the dist workers keep no shared trace log")
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM raises the engine's
@@ -227,25 +254,8 @@ func main() {
 	}
 
 	var log *aiac.TraceLog
-	if *showTrace || *traceCSV != "" || *traceChrome != "" || *critPath {
-		log = &aiac.TraceLog{}
-		if *traceCap > 0 {
-			log.SetCap(*traceCap)
-		}
-		cfg.Trace = log
-		// The Gantt chart defaults to the first few iterations, but the trace
-		// exports and the critical-path analysis need the whole run, so the
-		// -trace-iters default only applies when just -trace asked for the log.
-		iters := *traceIters
-		if !*showTrace {
-			iters = 0
-			flag.Visit(func(f *flag.Flag) {
-				if f.Name == "trace-iters" {
-					iters = *traceIters
-				}
-			})
-		}
-		cfg.TraceIters = iters
+	if wantTrace {
+		log = setupTrace(&cfg)
 	}
 
 	var sink *aiac.MetricsSink
@@ -291,6 +301,7 @@ func main() {
 			Workers: *procs,
 			Spawn:   aiac.DistSpawnCommand(os.Args),
 			RunRoot: *distRoot,
+			Speedup: *speedup,
 		})
 	} else {
 		res, err = aiac.Solve(cfg)

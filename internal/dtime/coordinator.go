@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"aiac/internal/trace"
 )
 
 // WorkerEnv is everything a worker process needs to join a run: where the
@@ -80,6 +82,16 @@ type Options struct {
 	Wall             time.Duration
 	// MaxFrame bounds accepted frame sizes (default MaxFrame).
 	MaxFrame int
+	// Trace, when non-nil, receives the coordinator's own wire events on a
+	// model clock started at the welcome broadcast (origin reported as
+	// RunInfo.TraceStart): one Wire span per relayed frame (recv → forward,
+	// with byte size) and supervision marks (heartbeats, stop, outcomes).
+	// Worker traces shipped via FrameTrace are collected into
+	// RunInfo.WorkerTraces for federation by the caller.
+	Trace *trace.Log
+	// Speedup scales the coordinator's trace clock; it must match the
+	// workers' WorkerOptions.Speedup (default 1000). Only used for tracing.
+	Speedup float64
 }
 
 // WorkerInfo describes one worker of a completed (or failed) run.
@@ -102,6 +114,12 @@ type RunInfo struct {
 	// MaxTime watchdog fired or a body called Stop) before all outcomes
 	// were in.
 	StopRequested bool `json:"stop_requested,omitempty"`
+	// TraceStart is the wall-clock origin (unix nanos) of the coordinator's
+	// trace clock — set only when Options.Trace is non-nil.
+	TraceStart int64 `json:"trace_start,omitempty"`
+	// WorkerTraces holds the causal trace each worker shipped at outcome
+	// time (FrameTrace), in arrival order; see trace.Federate.
+	WorkerTraces []*trace.ProcTrace `json:"-"`
 }
 
 // WorkerError is the typed coordinator-side failure of one worker: a crash
@@ -225,6 +243,9 @@ func Run(opts Options) ([][]byte, *RunInfo, error) {
 	if opts.RankWorker == nil {
 		opts.RankWorker = DefaultRankWorker(opts.Ranks, opts.Workers)
 	}
+	if opts.Speedup <= 0 {
+		opts.Speedup = 1000
+	}
 
 	runDir := filepath.Join(opts.RunRoot, opts.RunID)
 	if err := os.MkdirAll(runDir, 0o755); err != nil {
@@ -305,9 +326,28 @@ type coordinator struct {
 	workers []*coordWorker
 	owner   []int // rank -> worker
 
+	// traceStart anchors the coordinator's trace clock; written once before
+	// the reader goroutines start, read concurrently by them.
+	traceStart time.Time
+
 	mu      sync.Mutex // guards lastBeat fields
 	events  chan coordEvent
 	stopped bool
+}
+
+// now returns the coordinator's trace clock in model seconds.
+func (c *coordinator) now() float64 {
+	return time.Since(c.traceStart).Seconds() * c.opts.Speedup
+}
+
+// mark records a zero-duration supervision event on the coordinator's trace
+// (Node -1: charged to no rank — the critical-path walk ignores it).
+func (c *coordinator) mark(note string) {
+	if c.opts.Trace == nil {
+		return
+	}
+	t := c.now()
+	c.opts.Trace.Add(trace.Event{T0: t, T1: t, Node: -1, To: -1, Kind: trace.Mark, Iter: -1, Note: note})
 }
 
 func (c *coordinator) killAll() {
@@ -425,10 +465,14 @@ func (c *coordinator) reader(worker int) {
 		c.mu.Unlock()
 		switch typ {
 		case FrameMsg:
-			_, to, _, _, _, ok := EnvelopeInfo(payload)
+			from, to, _, _, _, seq, ok := EnvelopeInfo(payload)
 			if !ok || to < 0 || to >= len(c.owner) {
 				c.events <- coordEvent{worker: worker, err: fmt.Errorf("dtime: unroutable message frame from worker %d", worker)}
 				return
+			}
+			var t0 float64
+			if c.opts.Trace != nil {
+				t0 = c.now()
 			}
 			dst := c.workers[c.owner[to]]
 			if err := dst.writeFrame(FrameMsg, payload); err != nil {
@@ -437,8 +481,19 @@ func (c *coordinator) reader(worker int) {
 				// innocent sender.
 				continue
 			}
+			if c.opts.Trace != nil {
+				// The relay span (recv → forward) on the coordinator's
+				// clock. To is -1: the span charges the wire, not the
+				// receiving rank — the worker-side delivery record is what
+				// the walk uses as the arrival.
+				c.opts.Trace.Add(trace.Event{
+					T0: t0, T1: c.now(), Node: from, To: -1, Kind: trace.Wire,
+					Iter: -1, Seq: seq, Note: fmt.Sprintf("relay to %d (%d B)", to, len(payload)),
+				})
+			}
 		case FrameHeartbeat:
 			// lastBeat already bumped
+			c.mark(fmt.Sprintf("hb worker %d", worker))
 		default:
 			c.events <- coordEvent{worker: worker, typ: typ, payload: payload}
 			if typ == FrameOutcome || typ == FrameError {
@@ -470,7 +525,14 @@ func (c *coordinator) run(ln net.Listener) ([][]byte, *RunInfo, error) {
 		info.Workers = append(info.Workers, cw.info)
 	}
 
-	// Release the workers together.
+	// Release the workers together. The trace clock starts here: the
+	// workers' clocks start when the welcome lands moments later, and the
+	// wall-clock gap between the origins is exactly what federation's
+	// offset normalization removes.
+	c.traceStart = time.Now()
+	if c.opts.Trace != nil {
+		info.TraceStart = c.traceStart.UnixNano()
+	}
 	welcome := marshalJSONFrame(welcomeBody{RunID: c.opts.RunID})
 	for _, cw := range c.workers {
 		if err := cw.writeFrame(FrameWelcome, welcome); err != nil {
@@ -524,14 +586,23 @@ func (c *coordinator) run(ln net.Listener) ([][]byte, *RunInfo, error) {
 						info.EndTime = end
 					}
 					outcomes++
+					c.mark(fmt.Sprintf("outcome worker %d", ev.worker))
 				}
+			case ev.typ == FrameTrace:
+				pt, err := DecodeTraceBlob(ev.payload)
+				if err != nil {
+					return fail(&WorkerError{Worker: ev.worker, Err: err})
+				}
+				info.WorkerTraces = append(info.WorkerTraces, pt)
 			case ev.typ == FrameError:
+				c.mark(fmt.Sprintf("error worker %d", ev.worker))
 				return fail(&WorkerError{Worker: ev.worker, Err: errors.New(string(ev.payload))})
 			case ev.typ == FrameStop:
 				// A worker requested a global stop (watchdog or explicit
 				// Stop): relay it to everyone; workers still report
 				// outcomes on their way out.
 				info.StopRequested = true
+				c.mark(fmt.Sprintf("stop-requested worker %d", ev.worker))
 				c.broadcastStop(len(ev.payload) > 0 && ev.payload[0] != 0)
 			}
 		case <-hbTick.C:
@@ -554,6 +625,7 @@ func (c *coordinator) run(ln net.Listener) ([][]byte, *RunInfo, error) {
 
 	// All outcomes are in: release the workers and give them a moment to
 	// write their state-directory sidecars and exit cleanly.
+	c.mark("stop")
 	c.broadcastStop(false)
 	deadline := time.After(c.opts.HeartbeatTimeout)
 	remaining := 0

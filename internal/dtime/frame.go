@@ -52,6 +52,10 @@ const (
 	// FrameError reports a fatal worker-side protocol error before the
 	// worker exits (body: UTF-8 message).
 	FrameError
+	// FrameTrace ships a worker's causal trace log to the coordinator just
+	// before its outcome (binary body, see EncodeTraceBlob). Optional: only
+	// sent when the worker runs with tracing enabled.
+	FrameTrace
 )
 
 // Frame layout: u32 big-endian length N, then N bytes: version byte, type

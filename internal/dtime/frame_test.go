@@ -132,13 +132,13 @@ func FuzzEnvelope(f *testing.F) {
 	f.Add(encodeEnvelope(runenv.Msg{}, nil))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, payload, err := decodeEnvelope(data)
-		from, to, kind, size, sendT, ok := EnvelopeInfo(data)
+		from, to, kind, size, sendT, seq, ok := EnvelopeInfo(data)
 		if err != nil {
 			return
 		}
 		if !ok || from != m.From || to != m.To || kind != m.Kind || size != m.Bytes ||
-			math.Float64bits(sendT) != math.Float64bits(m.SendT) {
-			t.Fatalf("peek (%d,%d,%d,%d,%g,%v) disagrees with decode %+v", from, to, kind, size, sendT, ok, m)
+			math.Float64bits(sendT) != math.Float64bits(m.SendT) || seq != m.Seq {
+			t.Fatalf("peek (%d,%d,%d,%d,%g,%d,%v) disagrees with decode %+v", from, to, kind, size, sendT, seq, ok, m)
 		}
 		// decodeEnvelope tolerates trailing bytes (a frame bounds the body);
 		// re-encoding must reproduce exactly the consumed prefix.

@@ -1,0 +1,95 @@
+package dtime
+
+import (
+	"fmt"
+
+	"aiac/internal/trace"
+)
+
+// traceBlobVersion versions the FrameTrace payload independently of the
+// frame protocol, so the trace schema can grow without a wire bump.
+const traceBlobVersion = 1
+
+// EncodeTraceBlob serializes a worker's causal trace for a FrameTrace
+// payload. The event Proc field is not carried — federation assigns it from
+// the worker index.
+func EncodeTraceBlob(pt *trace.ProcTrace) []byte {
+	e := Enc{}
+	e.U8(traceBlobVersion)
+	e.U32(uint32(pt.Proc))
+	e.Bytes([]byte(pt.RunID))
+	e.U32(uint32(len(pt.Ranks)))
+	for _, r := range pt.Ranks {
+		e.I64(int64(r))
+	}
+	e.I64(pt.Start)
+	e.F64(pt.Speedup)
+	e.U64(pt.Dropped)
+	e.U32(uint32(len(pt.Events)))
+	for _, ev := range pt.Events {
+		e.F64(ev.T0)
+		e.F64(ev.T1)
+		e.I64(int64(ev.Node))
+		e.I64(int64(ev.To))
+		e.I64(int64(ev.Kind))
+		e.I64(int64(ev.Iter))
+		e.Bytes([]byte(ev.Note))
+		e.U64(ev.Seq)
+		e.I64(int64(ev.HaloL))
+		e.I64(int64(ev.HaloR))
+		e.U64(ev.Xfer)
+	}
+	return e.B
+}
+
+// DecodeTraceBlob parses a FrameTrace payload.
+func DecodeTraceBlob(body []byte) (*trace.ProcTrace, error) {
+	d := Dec{B: body}
+	if v := d.U8(); d.Err() == nil && v != traceBlobVersion {
+		return nil, fmt.Errorf("dtime: trace blob version %d, want %d", v, traceBlobVersion)
+	}
+	pt := &trace.ProcTrace{}
+	pt.Proc = int(d.U32())
+	pt.RunID = string(d.Bytes())
+	nRanks := int(d.U32())
+	if d.Err() == nil && nRanks > 0 {
+		if rem := len(d.Rest()); nRanks > rem/8 {
+			return nil, fmt.Errorf("dtime: bad trace blob: %w", ErrTruncated)
+		}
+		pt.Ranks = make([]int, nRanks)
+		for i := range pt.Ranks {
+			pt.Ranks[i] = int(d.I64())
+		}
+	}
+	pt.Start = d.I64()
+	pt.Speedup = d.F64()
+	pt.Dropped = d.U64()
+	nEvs := int(d.U32())
+	if d.Err() == nil && nEvs > 0 {
+		// Each event occupies at least this many wire bytes; bound the
+		// allocation before trusting the count.
+		const minEvLen = 8*2 + 8*4 + 4 + 8 + 8*2 + 8
+		if rem := len(d.Rest()); nEvs > rem/minEvLen {
+			return nil, fmt.Errorf("dtime: bad trace blob: %w", ErrTruncated)
+		}
+		pt.Events = make([]trace.Event, nEvs)
+		for i := range pt.Events {
+			ev := &pt.Events[i]
+			ev.T0 = d.F64()
+			ev.T1 = d.F64()
+			ev.Node = int(d.I64())
+			ev.To = int(d.I64())
+			ev.Kind = trace.Kind(d.I64())
+			ev.Iter = int(d.I64())
+			ev.Note = string(d.Bytes())
+			ev.Seq = d.U64()
+			ev.HaloL = int(d.I64())
+			ev.HaloR = int(d.I64())
+			ev.Xfer = d.U64()
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("dtime: bad trace blob: %w", err)
+	}
+	return pt, nil
+}

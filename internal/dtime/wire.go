@@ -191,9 +191,9 @@ func decodeEnvelope(body []byte) (m runenv.Msg, payload []byte, err error) {
 // EnvelopeInfo peeks at the addressing header of a FrameMsg payload without
 // decoding the application payload — the fault-injecting connection wrapper
 // uses it to key its per-link decisions.
-func EnvelopeInfo(body []byte) (from, to, kind, bytes int, sendT float64, ok bool) {
+func EnvelopeInfo(body []byte) (from, to, kind, bytes int, sendT float64, seq uint64, ok bool) {
 	if len(body) < envelopeHeaderLen {
-		return 0, 0, 0, 0, 0, false
+		return 0, 0, 0, 0, 0, 0, false
 	}
 	d := Dec{B: body}
 	from = int(d.U32())
@@ -201,7 +201,8 @@ func EnvelopeInfo(body []byte) (from, to, kind, bytes int, sendT float64, ok boo
 	kind = int(d.U32())
 	bytes = int(d.U32())
 	sendT = d.F64()
-	return from, to, kind, bytes, sendT, true
+	seq = d.U64()
+	return from, to, kind, bytes, sendT, seq, true
 }
 
 // helloBody is the worker's check-in (FrameHello, JSON).

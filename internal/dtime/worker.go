@@ -1,6 +1,7 @@
 package dtime
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
@@ -36,6 +37,12 @@ type WorkerOptions struct {
 	Heartbeat time.Duration
 	Dial      time.Duration
 	MaxFrame  int
+	// Trace, when non-nil, is this worker's causal trace log: the runtime
+	// adds a Wire record per remote delivery and ships the whole log to the
+	// coordinator (FrameTrace) just before the outcome. The caller points
+	// the solver bodies at the same log (runenv.Config.Trace) so compute
+	// and wire events share one stream.
+	Trace *trace.Log
 }
 
 // RunWorker joins the run described by wenv, executes run with a
@@ -71,12 +78,16 @@ func RunWorker(wenv WorkerEnv, opts WorkerOptions, run func(pr runenv.PartialRun
 		return fmt.Errorf("dtime: hello: %w", err)
 	}
 	raw.SetReadDeadline(time.Now().Add(opts.Dial))
-	typ, _, err := ReadFrame(conn, opts.MaxFrame)
+	typ, wpayload, err := ReadFrame(conn, opts.MaxFrame)
 	if err != nil {
 		return fmt.Errorf("dtime: welcome: %w", err)
 	}
 	if typ != FrameWelcome {
 		return fmt.Errorf("dtime: expected welcome, got frame type %d", typ)
+	}
+	var welcome welcomeBody
+	if err := json.Unmarshal(wpayload, &welcome); err != nil {
+		return fmt.Errorf("dtime: welcome body: %w", err)
 	}
 	raw.SetReadDeadline(time.Time{})
 
@@ -100,6 +111,21 @@ func RunWorker(wenv WorkerEnv, opts WorkerOptions, run func(pr runenv.PartialRun
 	if runErr != nil {
 		rt.writeFrame(FrameError, []byte(runErr.Error()))
 		return runErr
+	}
+
+	if opts.Trace != nil {
+		pt := &trace.ProcTrace{
+			Proc:    wenv.Worker,
+			RunID:   welcome.RunID,
+			Ranks:   wenv.Ranks,
+			Start:   rt.start.UnixNano(),
+			Speedup: opts.Speedup,
+			Dropped: opts.Trace.Dropped(),
+			Events:  opts.Trace.Events(),
+		}
+		if err := rt.writeFrame(FrameTrace, EncodeTraceBlob(pt)); err != nil {
+			return fmt.Errorf("dtime: report trace: %w", err)
+		}
 	}
 
 	e := Enc{}
@@ -289,6 +315,16 @@ func (rt *wrt) deliverRemote(m runenv.Msg) {
 	depth := len(p.mailbox)
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	if t := rt.opts.Trace; t != nil {
+		// The delivery half of a cross-process message: T0 is the sender's
+		// send time on the *sender's* clock (normalized at federation), T1
+		// the local delivery time. Federate matches it to the send by
+		// (Node, Seq) and collapses the pair into one Wire span.
+		t.Add(trace.Event{
+			T0: m.SendT, T1: m.RecvT, Node: m.From, To: m.To,
+			Kind: trace.Wire, Iter: -1, Note: trace.WireDeliverNote, Seq: m.Seq,
+		})
+	}
 	if obs := rt.cfg.Observer; obs != nil {
 		obs.MsgDelivered(m, depth)
 	}

@@ -15,6 +15,7 @@ import (
 	"aiac/internal/grid"
 	"aiac/internal/metrics"
 	"aiac/internal/runenv"
+	"aiac/internal/trace"
 )
 
 // DistOptions configures a distributed (multi-OS-process) run.
@@ -34,6 +35,10 @@ type DistOptions struct {
 	HeartbeatTimeout time.Duration
 	Connect          time.Duration
 	Wall             time.Duration
+	// Speedup is the model-to-wall time scale the workers run at (default
+	// 1000). The coordinator only needs it when tracing: the federated
+	// clock normalization requires every process on one scale.
+	Speedup float64
 }
 
 // RunDist executes the configured solver across worker OS processes and
@@ -57,6 +62,13 @@ func RunDist(cfg Config, opts DistOptions) (*Result, *dtime.RunInfo, error) {
 		fillManifest(&s.Manifest, &cfg)
 	}
 
+	// When the caller traces, the coordinator keeps its own wire log
+	// (relay spans, supervision marks) and collects the workers' logs,
+	// federated below into the caller's cfg.Trace.
+	var wireLog *trace.Log
+	if cfg.Trace != nil {
+		wireLog = &trace.Log{}
+	}
 	blobs, info, err := dtime.Run(dtime.Options{
 		Workers:          opts.Workers,
 		Ranks:            cfg.P + 1,
@@ -67,6 +79,8 @@ func RunDist(cfg Config, opts DistOptions) (*Result, *dtime.RunInfo, error) {
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		Connect:          opts.Connect,
 		Wall:             opts.Wall,
+		Trace:            wireLog,
+		Speedup:          opts.Speedup,
 	})
 	if err != nil {
 		return nil, info, err
@@ -113,10 +127,50 @@ func RunDist(cfg Config, opts DistOptions) (*Result, *dtime.RunInfo, error) {
 		return res, info, err
 	}
 	finishMetrics(&cfg, res, wallStart, nil)
+	if cfg.Trace != nil {
+		if err := federateTrace(&cfg, opts, info, wireLog); err != nil {
+			return res, info, fmt.Errorf("engine: federate trace: %w", err)
+		}
+	}
 	if err := writeFederatedView(&cfg, res, info); err != nil {
 		return res, info, fmt.Errorf("engine: federate run view: %w", err)
 	}
 	return res, info, nil
+}
+
+// federateTrace merges the worker traces shipped over FrameTrace with the
+// coordinator's wire log into cfg.Trace — the caller's log then reads as one
+// global causal stream, so every single-process export path (CSV, Chrome,
+// critical path) works on a distributed run unchanged — and writes the
+// federated trace.csv into the run directory.
+func federateTrace(cfg *Config, opts DistOptions, info *dtime.RunInfo, wireLog *trace.Log) error {
+	workers := make([]trace.ProcTrace, 0, len(info.WorkerTraces))
+	for _, pt := range info.WorkerTraces {
+		workers = append(workers, *pt)
+	}
+	speedup := opts.Speedup
+	if speedup <= 0 {
+		speedup = 1000
+	}
+	coord := &trace.ProcTrace{
+		Proc:    len(workers),
+		RunID:   info.RunID,
+		Start:   info.TraceStart,
+		Speedup: speedup,
+		Dropped: wireLog.Dropped(),
+		Events:  wireLog.Events(),
+	}
+	fed, err := trace.Federate(workers, coord)
+	if err != nil {
+		return err
+	}
+	cfg.Trace.SetEvents(fed.Events())
+	f, err := os.Create(filepath.Join(info.RunDir, "trace.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return cfg.Trace.WriteCSV(f)
 }
 
 // writeFederatedView writes the coordinator's view of the run into the run
@@ -219,6 +273,21 @@ func DistFaultConn(cfg Config, speedup float64) (func(net.Conn) net.Conn, *fault
 	ser := grid.NewSerializer(cfg.Cluster)
 	var serMu sync.Mutex
 	wrap := func(inner net.Conn) net.Conn {
+		// The wrapper has no model clock; injection marks are stamped on a
+		// wall clock anchored at wrap time (the dial, moments before the
+		// worker's own clock origin), close enough for zero-duration
+		// annotations the critical-path walk never consumes.
+		wrapStart := time.Now()
+		var onFault func(from, to, kind, bytes int, drop bool, dups int, delay float64)
+		if tlog := cfg.Trace; tlog != nil {
+			onFault = func(from, to, kind, bytes int, drop bool, dups int, delay float64) {
+				t := time.Since(wrapStart).Seconds() * speedup
+				tlog.Add(trace.Event{
+					T0: t, T1: t, Node: from, To: -1, Kind: trace.Mark, Iter: -1,
+					Note: fmt.Sprintf("wire-fault %d→%d drop=%t dup=%d delay=%.3g", from, to, drop, dups, delay),
+				})
+			}
+		}
 		return fault.NewConn(inner, inj, fault.ConnOptions{
 			FrameLen: func(buf []byte) (int, error) {
 				return dtime.FrameLen(buf, dtime.MaxFrame)
@@ -228,7 +297,7 @@ func DistFaultConn(cfg Config, speedup float64) (func(net.Conn) net.Conn, *fault
 				if err != nil || typ != dtime.FrameMsg {
 					return 0, 0, 0, 0, false
 				}
-				from, to, kind, bytes, _, ok = dtime.EnvelopeInfo(payload)
+				from, to, kind, bytes, _, _, ok = dtime.EnvelopeInfo(payload)
 				if !ok || (dataOnly && kind >= detect.KindBase) {
 					return 0, 0, 0, 0, false
 				}
@@ -243,6 +312,7 @@ func DistFaultConn(cfg Config, speedup float64) (func(net.Conn) net.Conn, *fault
 				return ser.Delay(cfg.mapRank(from), cfg.mapRank(to), bytes, 0)
 			},
 			WallScale: 1 / speedup,
+			OnFault:   onFault,
 		})
 	}
 	return wrap, inj
@@ -267,6 +337,7 @@ func RunDistWorker(cfg Config, wenv dtime.WorkerEnv, opts DistWorkerOptions) err
 		Speedup:  opts.Speedup,
 		WrapConn: opts.WrapConn,
 		ObsAddr:  opts.ObsAddr,
+		Trace:    cfg.Trace,
 	}, func(pr runenv.PartialRunner) ([]byte, error) {
 		bodies := make(map[int]runenv.Body, len(wenv.Ranks))
 		outs := make([]*nodeOutcome, len(wenv.Ranks))
@@ -334,6 +405,21 @@ func writeWorkerSidecars(cfg *Config, wenv dtime.WorkerEnv, opts DistWorkerOptio
 	}
 	if err := os.WriteFile(filepath.Join(wenv.StateDir, "manifest.json"), append(b, '\n'), 0o644); err != nil {
 		return err
+	}
+	if t := cfg.Trace; t != nil {
+		// The worker-local causal log, on this worker's own clock — a
+		// debugging artifact; the coordinator writes the federated view.
+		f, err := os.Create(filepath.Join(wenv.StateDir, "trace.csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if s := cfg.Metrics; s != nil && opts.ExportMetrics {
 		s.Manifest.Dist = man.Dist

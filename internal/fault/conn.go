@@ -36,6 +36,11 @@ type ConnOptions struct {
 	// ByteRate throttles writes to the given payload bytes per wall second,
 	// modeling a slow link. 0 disables the throttle.
 	ByteRate float64
+	// OnFault, when non-nil, observes every non-trivial fault decision on a
+	// classified frame — a drop, a duplication, or an extra delay (model
+	// seconds) — so the caller can attribute injections to the link they
+	// fired on (the trace layer records them as link-annotated marks).
+	OnFault func(from, to, kind, bytes int, drop bool, dups int, delay float64)
 }
 
 // Conn wraps a net.Conn and applies a seeded fault plan to the frames
@@ -114,6 +119,9 @@ func (c *Conn) writeFrame(frame []byte) error {
 			delay = c.o.Delay(from, to, bytes)
 		}
 		f := c.inj.MsgFault(from, to, kind, bytes, now, delay)
+		if c.o.OnFault != nil && (f.Drop || len(f.DupDelays) > 0 || f.ExtraDelay > 0) {
+			c.o.OnFault(from, to, kind, bytes, f.Drop, len(f.DupDelays), f.ExtraDelay)
+		}
 		if f.Drop {
 			return nil
 		}

@@ -20,7 +20,7 @@ func connOptions() fault.ConnOptions {
 			if err != nil || typ != dtime.FrameMsg {
 				return 0, 0, 0, 0, false
 			}
-			from, to, kind, bytes, _, ok = dtime.EnvelopeInfo(payload)
+			from, to, kind, bytes, _, _, ok = dtime.EnvelopeInfo(payload)
 			return from, to, kind, bytes, ok
 		},
 	}

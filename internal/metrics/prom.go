@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 )
 
 // WritePrometheus writes the sink's live state in the Prometheus text
@@ -79,6 +80,58 @@ func (s *Sink) WritePrometheus(w io.Writer) error {
 }
 
 func nodeLabel(i int) string { return fmt.Sprintf(`node="%d"`, i) }
+
+// promEscaper rewrites the three characters the Prometheus text exposition
+// format escapes inside label values.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// PromLabel renders one name="value" label pair for the Prometheus text
+// format, escaping the value. Use it for labels carrying free-form strings
+// (tenant names, run IDs) — numeric labels can be formatted directly.
+func PromLabel(name, value string) string {
+	return name + `="` + promEscaper.Replace(value) + `"`
+}
+
+// PromWriter exposes the exposition-format helpers used by WritePrometheus
+// so other packages (the control-plane scheduler) emit metrics in the same
+// shape. Head writes the HELP/TYPE preamble, Val one sample line.
+type PromWriter struct{ p promWriter }
+
+// NewPromWriter returns a PromWriter targeting w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{p: promWriter{w: w}} }
+
+// Head writes the # HELP / # TYPE preamble for a metric family.
+func (pw *PromWriter) Head(name, typ, help string) { pw.p.head(name, typ, help) }
+
+// Val writes one sample; labels is the rendered label list without braces
+// ("" for none), e.g. metrics.PromLabel("tenant", t).
+func (pw *PromWriter) Val(name, labels string, v float64) { pw.p.val(name, labels, v) }
+
+// Hist writes a histogram snapshot in native cumulative-bucket form, with
+// extraLabels (may be "") merged into each bucket's label set.
+func (pw *PromWriter) Hist(name, extraLabels string, snap HistSnapshot) {
+	join := func(le string) string {
+		if extraLabels == "" {
+			return le
+		}
+		return extraLabels + "," + le
+	}
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		bound := snap.Bounds[i]
+		if bound == math.MaxFloat64 {
+			continue
+		}
+		pw.p.val(name+"_bucket", join(fmt.Sprintf(`le="%g"`, bound)), float64(cum))
+	}
+	pw.p.val(name+"_bucket", join(`le="+Inf"`), float64(snap.Count))
+	pw.p.val(name+"_sum", extraLabels, snap.Sum)
+	pw.p.val(name+"_count", extraLabels, float64(snap.Count))
+}
+
+// Err returns the first write error, nil if all writes succeeded.
+func (pw *PromWriter) Err() error { return pw.p.err }
 
 type promWriter struct {
 	w   io.Writer

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusEmptySink pins the scrape of a sink that never started: all
+// metric families must still appear (HELP/TYPE preambles are the scrape
+// contract) with zero-valued scalars and no per-node series, and a nil sink
+// must write nothing at all.
+func TestPrometheusEmptySink(t *testing.T) {
+	var b strings.Builder
+	var s Sink
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE aiac_run_phase gauge",
+		"aiac_run_phase 0\n",
+		"# TYPE aiac_node_residual gauge",
+		"# TYPE aiac_msgs_delivered_total counter",
+		"aiac_msgs_delivered_total 0\n",
+		"# TYPE aiac_delivery_latency_seconds histogram",
+		`aiac_delivery_latency_seconds_bucket{le="+Inf"} 0`,
+		"aiac_delivery_latency_seconds_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty-sink scrape missing %q", want)
+		}
+	}
+	if strings.Contains(out, "node=") {
+		t.Errorf("empty sink emitted per-node series:\n%s", out)
+	}
+
+	var nb strings.Builder
+	var nilSink *Sink
+	if err := nilSink.WritePrometheus(&nb); err != nil || nb.Len() != 0 {
+		t.Fatalf("nil sink wrote %q, err %v", nb.String(), err)
+	}
+}
+
+// TestPrometheusHistogramBuckets pins the bucket edge behavior end to end:
+// log2 bucket bounds are inclusive upper bounds, cumulative counts follow
+// the text format, and the +Inf bucket equals the total count.
+func TestPrometheusHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Exactly at the floor: bucket 0. Exactly at bound 1 (2e-6): bucket 1
+	// (bounds are inclusive). Just above bound 1: bucket 2.
+	h.Observe(histFloor)
+	h.Observe(BucketBound(1))
+	h.Observe(BucketBound(1) * 1.0001)
+	// Far off the scale: clamped into the open-ended last bucket.
+	h.Observe(1e18)
+
+	snap := h.Snapshot()
+	if snap.Count != 4 {
+		t.Fatalf("count = %d, want 4", snap.Count)
+	}
+	if snap.Counts[0] != 1 || snap.Counts[1] != 1 || snap.Counts[2] != 1 {
+		t.Fatalf("low buckets = %v, want 1,1,1 leading", snap.Counts[:3])
+	}
+	if last := len(snap.Counts) - 1; snap.Counts[last] != 1 || snap.Bounds[last] != math.MaxFloat64 {
+		t.Fatalf("overflow bucket: counts[%d]=%d bound=%g", last, snap.Counts[last], snap.Bounds[last])
+	}
+
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Hist("x_seconds", "", snap)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Cumulative buckets: 1 at the floor, 2 through bound 1, 3 through
+	// bound 2; the sentinel bound is skipped and +Inf carries the total.
+	for _, want := range []string{
+		`x_seconds_bucket{le="1e-06"} 1`,
+		`x_seconds_bucket{le="2e-06"} 2`,
+		`x_seconds_bucket{le="4e-06"} 3`,
+		`x_seconds_bucket{le="+Inf"} 4`,
+		"x_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "1.7976931348623157e+308") {
+		t.Errorf("sentinel bound leaked into exposition:\n%s", out)
+	}
+}
+
+// TestPromLabelEscaping pins the text-format escaping rules for label
+// values: backslash, double quote and newline — and nothing else.
+func TestPromLabelEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", `tenant="plain"`},
+		{`quo"te`, `tenant="quo\"te"`},
+		{`back\slash`, `tenant="back\\slash"`},
+		{"new\nline", `tenant="new\nline"`},
+		{`mix"ed\` + "\n", `tenant="mix\"ed\\\n"`},
+		{"µ-svc {a=b}", `tenant="µ-svc {a=b}"`}, // UTF-8 and braces pass through
+	}
+	for _, tc := range cases {
+		if got := PromLabel("tenant", tc.in); got != tc.want {
+			t.Errorf("PromLabel(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Head("m", "gauge", "test metric")
+	pw.Val("m", PromLabel("tenant", `a"b`), 2)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := "m{tenant=\"a\\\"b\"} 2\n"; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped sample line missing %q in:\n%s", want, b.String())
+	}
+}

@@ -64,6 +64,11 @@ type RunRecord struct {
 	// ends, so list responses answer "did it converge" without opening
 	// the JSONL export.
 	Outcome *metrics.Outcome `json:"outcome,omitempty"`
+	// Artifacts lists the sidecar files present in the run's directory
+	// (metrics.jsonl, trace.csv, report.txt). Rescan rebuilds it from disk,
+	// so a restarted service recovers a traced run's trace.csv exactly like
+	// its telemetry export.
+	Artifacts []string `json:"artifacts,omitempty"`
 }
 
 // Registry is the durable run index. All methods are safe for concurrent
@@ -120,6 +125,10 @@ func (r *Registry) Rescan() error {
 			rec.State = StateLost
 			writeRecord(r.Dir(rec.ID), rec) // best-effort demotion
 		}
+		// Disk is the source of truth for sidecars: a manifest written
+		// before the run finished (or by an older version without the
+		// field) would otherwise hide an existing trace.csv forever.
+		rec.Artifacts = ScanArtifacts(r.Dir(rec.ID))
 		runs[rec.ID] = rec
 	}
 	r.mu.Lock()
@@ -184,6 +193,21 @@ func (r *Registry) List(tenant string, state RunState) []RunRecord {
 	}
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// artifactNames are the sidecar files a run directory can hold besides its
+// manifest, in the order Artifacts lists them.
+var artifactNames = []string{"metrics.jsonl", "trace.csv", "report.txt"}
+
+// ScanArtifacts lists which known sidecar files exist in a run directory.
+func ScanArtifacts(dir string) []string {
+	var out []string
+	for _, name := range artifactNames {
+		if st, err := os.Stat(filepath.Join(dir, name)); err == nil && st.Mode().IsRegular() {
+			out = append(out, name)
+		}
+	}
 	return out
 }
 

@@ -2,8 +2,10 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,13 +46,14 @@ func (e ErrQueueFull) Error() string {
 }
 
 type job struct {
-	id     string
-	tenant string
-	spec   RunSpec
-	cfg    engine.Config
-	sink   *metrics.Sink
-	cancel atomic.Bool
-	stream *liveStream
+	id        string
+	tenant    string
+	spec      RunSpec
+	cfg       engine.Config
+	sink      *metrics.Sink
+	cancel    atomic.Bool
+	stream    *liveStream
+	submitted time.Time
 }
 
 // Scheduler runs submitted specs on a worker pool, persisting lifecycle
@@ -68,6 +71,13 @@ type Scheduler struct {
 	running map[string]int // per-tenant running count
 	jobs    map[string]*job
 	closed  bool
+
+	// Service-level telemetry, scraped by the control plane's /metrics
+	// endpoint. sheds counts 429-style quota rejections; submitToStart is
+	// the queue-wait latency (Submit accept to solver start) in seconds.
+	sheds         atomic.Uint64
+	startedTotal  atomic.Uint64
+	submitToStart metrics.Histogram
 
 	wait func()
 }
@@ -121,6 +131,7 @@ func (s *Scheduler) Submit(spec RunSpec) (string, error) {
 	}
 	if s.cfg.MaxQueuedPerTenant > 0 && s.queued[spec.Tenant] >= s.cfg.MaxQueuedPerTenant {
 		s.mu.Unlock()
+		s.sheds.Add(1)
 		return "", ErrQueueFull{Tenant: spec.Tenant}
 	}
 	// Reserve the quota slot and allocate the ID inside the lock (IDs are
@@ -129,6 +140,7 @@ func (s *Scheduler) Submit(spec RunSpec) (string, error) {
 	// durable — a worker must never pick up a run the registry cannot
 	// report.
 	j.id = NewID(time.Now())
+	j.submitted = time.Now()
 	s.queued[spec.Tenant]++
 	s.jobs[j.id] = j
 	s.mu.Unlock()
@@ -227,6 +239,58 @@ func (s *Scheduler) QueueDepths() map[string]int {
 	return out
 }
 
+// RunningCounts snapshots per-tenant running counts.
+func (s *Scheduler) RunningCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.running))
+	for t, n := range s.running {
+		if n > 0 {
+			out[t] = n
+		}
+	}
+	return out
+}
+
+// Sheds returns the number of submissions rejected at the queue quota
+// (surfaced to clients as HTTP 429).
+func (s *Scheduler) Sheds() uint64 { return s.sheds.Load() }
+
+// WritePrometheus writes the scheduler's service-level metrics in the
+// Prometheus text exposition format: per-tenant queue depth and running
+// count, total quota sheds, started-run count and the submit-to-start
+// latency histogram. Tenant label order is sorted, so scrapes are
+// deterministic in the scheduler state.
+func (s *Scheduler) WritePrometheus(w io.Writer) error {
+	queued := s.QueueDepths()
+	running := s.RunningCounts()
+	pw := metrics.NewPromWriter(w)
+
+	tenants := func(m map[string]int) []string {
+		ts := make([]string, 0, len(m))
+		for t := range m {
+			ts = append(ts, t)
+		}
+		sort.Strings(ts)
+		return ts
+	}
+	pw.Head("aiac_sched_queue_depth", "gauge", "Queued runs per tenant.")
+	for _, t := range tenants(queued) {
+		pw.Val("aiac_sched_queue_depth", metrics.PromLabel("tenant", t), float64(queued[t]))
+	}
+	pw.Head("aiac_sched_running", "gauge", "Running solves per tenant.")
+	for _, t := range tenants(running) {
+		pw.Val("aiac_sched_running", metrics.PromLabel("tenant", t), float64(running[t]))
+	}
+	pw.Head("aiac_sched_sheds_total", "counter", "Submissions rejected at the per-tenant queue quota (HTTP 429).")
+	pw.Val("aiac_sched_sheds_total", "", float64(s.sheds.Load()))
+	pw.Head("aiac_sched_started_total", "counter", "Runs handed to the solver pool.")
+	pw.Val("aiac_sched_started_total", "", float64(s.startedTotal.Load()))
+	pw.Head("aiac_sched_submit_to_start_seconds", "histogram", "Queue wait from accepted submission to solver start.")
+	pw.Hist("aiac_sched_submit_to_start_seconds", "", s.submitToStart.Snapshot())
+	return pw.Err()
+}
+
 // next is the ServePool feed: block until a job is runnable under the
 // fairness policy, then hand out its execution closure.
 func (s *Scheduler) next() (func(), bool) {
@@ -278,6 +342,9 @@ func (s *Scheduler) execute(j *job) {
 		s.mu.Unlock()
 	}()
 
+	s.startedTotal.Add(1)
+	s.submitToStart.Observe(time.Since(j.submitted).Seconds())
+
 	rec, ok := s.reg.Get(j.id)
 	if !ok {
 		j.stream.close()
@@ -325,6 +392,7 @@ func (s *Scheduler) execute(j *job) {
 			rec.State = StateFailed
 			rec.Error = werr.Error()
 		}
+		rec.Artifacts = ScanArtifacts(s.reg.Dir(j.id))
 		// Seal the live stream with the canonical tail so followers see
 		// the same closing frames a replay would. The manifest is re-sent
 		// because the opening copy (captured at Start) predates the sealed

@@ -69,6 +69,8 @@ func (s *Service) Register(mux *http.ServeMux) {
 	mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /runs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	})
@@ -165,6 +167,34 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write(b)
+}
+
+// handleTrace serves a run's execution trace (the trace.csv sidecar — for
+// dist runs, the federated cross-process stream). 404s distinguish an
+// unknown run from an untraced or unfinished one.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	b, err := os.ReadFile(filepath.Join(s.reg.Dir(id), "trace.csv"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no trace for run in state %s (submit with \"trace\": true)", rec.State)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Write(b)
+}
+
+// handleMetrics exposes the control plane's own service metrics (scheduler
+// queue depths, running counts, sheds, submit-to-start latency) in the
+// Prometheus text format. This is the service-level scrape; per-run solver
+// metrics live on each run's artifacts.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.sched.WritePrometheus(w)
 }
 
 // handleEvents streams a run's dashboard frames as Server-Sent Events. A

@@ -34,11 +34,12 @@ func CriticalPath(cp *trace.CriticalPath, topN int) string {
 		}
 		return fmt.Sprintf("%.1f%%", 100*v/total)
 	}
-	fmt.Fprintf(&b, "breakdown: compute %.6g s (%s), idle %.6g s (%s), transit %.6g s (%s), LB %.6g s (%s)\n",
+	fmt.Fprintf(&b, "breakdown: compute %.6g s (%s), idle %.6g s (%s), transit %.6g s (%s), LB %.6g s (%s), wire %.6g s (%s)\n",
 		cp.ByKind[trace.SegCompute], pct(cp.ByKind[trace.SegCompute]),
 		cp.ByKind[trace.SegIdle], pct(cp.ByKind[trace.SegIdle]),
 		cp.ByKind[trace.SegTransit], pct(cp.ByKind[trace.SegTransit]),
-		cp.ByKind[trace.SegLB], pct(cp.ByKind[trace.SegLB]))
+		cp.ByKind[trace.SegLB], pct(cp.ByKind[trace.SegLB]),
+		cp.ByKind[trace.SegWire], pct(cp.ByKind[trace.SegWire]))
 
 	writeBlameTable(&b, cp, total)
 	writeTopSegments(&b, cp, topN)
@@ -48,7 +49,7 @@ func CriticalPath(cp *trace.CriticalPath, topN int) string {
 
 func writeBlameTable(b *strings.Builder, cp *trace.CriticalPath, total float64) {
 	title(b, "critical path: per-node blame")
-	t := stats.NewTable("node", "on-path s", "share", "compute", "idle", "transit", "lb")
+	t := stats.NewTable("node", "on-path s", "share", "compute", "idle", "transit", "lb", "wire")
 	for _, bl := range cp.Blame {
 		share := "-"
 		if total > 0 {
@@ -56,7 +57,8 @@ func writeBlameTable(b *strings.Builder, cp *trace.CriticalPath, total float64) 
 		}
 		t.AddRow(bl.Node, fmt.Sprintf("%.6g", bl.Total()), share,
 			fmt.Sprintf("%.6g", bl.Compute), fmt.Sprintf("%.6g", bl.Idle),
-			fmt.Sprintf("%.6g", bl.Transit), fmt.Sprintf("%.6g", bl.LB))
+			fmt.Sprintf("%.6g", bl.Transit), fmt.Sprintf("%.6g", bl.LB),
+			fmt.Sprintf("%.6g", bl.Wire))
 	}
 	b.WriteString(t.String())
 }
@@ -82,6 +84,8 @@ func writeTopSegments(b *strings.Builder, cp *trace.CriticalPath, topN int) {
 		switch {
 		case sg.Kind == trace.SegTransit:
 			detail = fmt.Sprintf("from node %d", sg.From)
+		case sg.Kind == trace.SegWire:
+			detail = fmt.Sprintf("wire from node %d", sg.From)
 		case sg.Kind == trace.SegLB && sg.From >= 0 && sg.From != sg.Node:
 			detail = fmt.Sprintf("xfer %d from node %d", sg.Xfer, sg.From)
 		case sg.Kind == trace.SegLB:

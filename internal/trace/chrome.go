@@ -13,6 +13,12 @@ import (
 // ("s"/"f") arrowing from the send to the delivery, and marks become instant
 // events. Timestamps are microseconds of simulated (or scaled real) time.
 //
+// A federated log (see Federate) renders one Chrome process per OS process:
+// pid = Event.Proc, with process_name metadata and flow arrows that cross
+// process tracks wherever a message crossed the wire. A single-process log
+// (every Proc zero) produces byte-identical output to the pre-federation
+// exporter.
+//
 // The output is byte-deterministic for a given event sequence: events are
 // emitted in Events() order with fixed number formatting.
 func WriteChrome(l *Log, w io.Writer) error {
@@ -20,8 +26,12 @@ func WriteChrome(l *Log, w io.Writer) error {
 	bw := &chromeWriter{w: w}
 	bw.raw("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
 
-	// Thread-name metadata for every node that appears.
-	maxNode := -1
+	// Thread-name metadata for every node that appears, and — in the
+	// multi-process case — a rank→process map so flow arrows can land on the
+	// receiver's track. Only events recorded *by* their own node feed the
+	// map: a Wire event may carry the sender's rank with the receiver's proc.
+	maxNode, maxProc := -1, 0
+	procOf := map[int]int{}
 	for _, ev := range evs {
 		if ev.Node > maxNode {
 			maxNode = ev.Node
@@ -29,42 +39,86 @@ func WriteChrome(l *Log, w io.Writer) error {
 		if ev.To > maxNode {
 			maxNode = ev.To
 		}
+		if ev.Proc > maxProc {
+			maxProc = ev.Proc
+		}
+		switch ev.Kind {
+		case Compute, Idle, Balance, SendLeft, SendRight, SendLB, Control:
+			if ev.Node >= 0 {
+				procOf[ev.Node] = ev.Proc
+			}
+		}
 	}
-	for n := 0; n <= maxNode; n++ {
-		bw.event(fmt.Sprintf(
-			`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"node %d"}}`, n, n))
+	if maxProc == 0 {
+		for n := 0; n <= maxNode; n++ {
+			bw.event(fmt.Sprintf(
+				`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"node %d"}}`, n, n))
+		}
+	} else {
+		for p := 0; p <= maxProc; p++ {
+			bw.event(fmt.Sprintf(
+				`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"proc %d"}}`, p, p))
+		}
+		for n := 0; n <= maxNode; n++ {
+			p, known := procOf[n]
+			if !known {
+				continue
+			}
+			bw.event(fmt.Sprintf(
+				`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"node %d"}}`, p, n, n))
+		}
 	}
 
 	for _, ev := range evs {
 		ts := chromeTS(ev.T0)
 		dur := chromeTS(ev.T1 - ev.T0)
+		tid := ev.Node
+		if tid < 0 {
+			tid = 0 // coordinator supervision events live on thread 0
+		}
 		switch ev.Kind {
 		case Compute, Idle, Balance:
 			args := fmt.Sprintf(`{"iter":%d,"halo_l":%d,"halo_r":%d,"xfer":%d,"note":%q}`,
 				ev.Iter, ev.HaloL, ev.HaloR, ev.Xfer, ev.Note)
 			bw.event(fmt.Sprintf(
-				`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":%q,"args":%s}`,
-				ev.Node, ts, dur, ev.Kind.String(), ev.Kind.String(), args))
-		case SendLeft, SendRight, SendLB, Control:
+				`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":%q,"args":%s}`,
+				ev.Proc, ev.Node, ts, dur, ev.Kind.String(), ev.Kind.String(), args))
+		case SendLeft, SendRight, SendLB, Control, Wire:
+			cat := "msg"
+			if ev.Kind == Wire {
+				cat = "wire"
+			}
 			name := fmt.Sprintf("%s → %d", ev.Kind, ev.To)
+			if ev.To < 0 {
+				// A relay span or a frame lost on the wire: a slice with no
+				// delivery, so no flow pair either.
+				name = ev.Kind.String()
+			}
 			args := fmt.Sprintf(`{"iter":%d,"seq":%d,"xfer":%d,"note":%q}`,
 				ev.Iter, ev.Seq, ev.Xfer, ev.Note)
 			bw.event(fmt.Sprintf(
-				`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":"msg","args":%s}`,
-				ev.Node, ts, dur, name, args))
+				`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":%q,"args":%s}`,
+				ev.Proc, tid, ts, dur, name, cat, args))
+			if ev.To < 0 {
+				break
+			}
 			// Flow arrow from the send slice to the delivery point. The id
 			// is the causal message identity (sender, sender-local seq).
+			toPid := ev.Proc
+			if p, known := procOf[ev.To]; known {
+				toPid = p
+			}
 			id := fmt.Sprintf("%d.%d", ev.Node, ev.Seq)
 			bw.event(fmt.Sprintf(
-				`{"ph":"s","pid":0,"tid":%d,"ts":%s,"id":%q,"name":%q,"cat":"msg"}`,
-				ev.Node, ts, id, name))
+				`{"ph":"s","pid":%d,"tid":%d,"ts":%s,"id":%q,"name":%q,"cat":%q}`,
+				ev.Proc, ev.Node, ts, id, name, cat))
 			bw.event(fmt.Sprintf(
-				`{"ph":"f","bp":"e","pid":0,"tid":%d,"ts":%s,"id":%q,"name":%q,"cat":"msg"}`,
-				ev.To, chromeTS(ev.T1), id, name))
+				`{"ph":"f","bp":"e","pid":%d,"tid":%d,"ts":%s,"id":%q,"name":%q,"cat":%q}`,
+				toPid, ev.To, chromeTS(ev.T1), id, name, cat))
 		case Mark:
 			bw.event(fmt.Sprintf(
-				`{"ph":"i","s":"t","pid":0,"tid":%d,"ts":%s,"name":%q,"cat":"mark","args":{"iter":%d,"xfer":%d}}`,
-				ev.Node, ts, ev.Note, ev.Iter, ev.Xfer))
+				`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"name":%q,"cat":"mark","args":{"iter":%d,"xfer":%d}}`,
+				ev.Proc, tid, ts, ev.Note, ev.Iter, ev.Xfer))
 		}
 	}
 	bw.raw("\n]}\n")

@@ -23,7 +23,12 @@ const (
 	SegIdle                   // the node was waiting (for data or a barrier)
 	SegTransit                // a boundary/control message in flight
 	SegLB                     // load-balancing work or an LB transfer in flight
+	SegWire                   // a cross-process message on the real network
 )
+
+// NumSegKinds is the number of SegKind values (the length of
+// CriticalPath.ByKind).
+const NumSegKinds = 5
 
 // String returns a short name for the segment kind.
 func (k SegKind) String() string {
@@ -36,6 +41,8 @@ func (k SegKind) String() string {
 		return "transit"
 	case SegLB:
 		return "lb"
+	case SegWire:
+		return "wire"
 	default:
 		return fmt.Sprintf("seg(%d)", int(k))
 	}
@@ -59,12 +66,12 @@ func (s Segment) Dur() float64 { return s.T1 - s.T0 }
 
 // NodeBlame aggregates critical-path time charged to one node.
 type NodeBlame struct {
-	Node                       int
-	Compute, Idle, Transit, LB float64
+	Node                             int
+	Compute, Idle, Transit, LB, Wire float64
 }
 
 // Total returns the node's total on-path time.
-func (b NodeBlame) Total() float64 { return b.Compute + b.Idle + b.Transit + b.LB }
+func (b NodeBlame) Total() float64 { return b.Compute + b.Idle + b.Transit + b.LB + b.Wire }
 
 // CriticalPath is the result of Analyze.
 type CriticalPath struct {
@@ -74,7 +81,7 @@ type CriticalPath struct {
 	// being explained.
 	Start, End float64
 	// ByKind sums segment durations per SegKind (index by SegKind).
-	ByKind [4]float64
+	ByKind [NumSegKinds]float64
 	// Blame charges each segment to a node, indexed by rank (transit time
 	// is charged to the receiver). Nodes that never appear on the path have
 	// zero rows.
@@ -109,7 +116,7 @@ func isActivity(k Kind) bool { return k == Compute || k == Balance }
 
 // isMessage reports whether the event is a transfer with a destination.
 func isMessage(k Kind) bool {
-	return k == SendLeft || k == SendRight || k == SendLB || k == Control
+	return k == SendLeft || k == SendRight || k == SendLB || k == Control || k == Wire
 }
 
 // Analyze builds the happens-before walk over evs (as returned by
@@ -142,13 +149,16 @@ func Analyze(evs []Event) *CriticalPath {
 	var anchor *Event
 	for i := range evs {
 		ev := evs[i]
+		// Events charged to no rank (Node < 0: coordinator wire spans,
+		// supervision marks) are context only — they never unblock a node,
+		// so they join neither the activity nor the arrival index.
 		switch {
-		case isActivity(ev.Kind):
+		case isActivity(ev.Kind) && ev.Node >= 0:
 			acts[ev.Node] = append(acts[ev.Node], ev)
 		case isMessage(ev.Kind) && ev.To >= 0 && ev.To <= maxNode:
 			arrs[ev.To] = append(arrs[ev.To], ev)
 		}
-		if ev.Kind == Mark && ev.Note == "halt" {
+		if ev.Kind == Mark && ev.Note == "halt" && ev.Node >= 0 {
 			if anchor == nil || ev.T1 > anchor.T1 ||
 				(ev.T1 == anchor.T1 && ev.Node > anchor.Node) {
 				anchor = &evs[i]
@@ -157,11 +167,18 @@ func Analyze(evs []Event) *CriticalPath {
 	}
 	if anchor == nil {
 		for i := range evs {
+			if evs[i].Node < 0 {
+				continue
+			}
 			if anchor == nil || evs[i].T1 > anchor.T1 ||
 				(evs[i].T1 == anchor.T1 && evs[i].Node > anchor.Node) {
 				anchor = &evs[i]
 			}
 		}
+	}
+	if anchor == nil {
+		// Every event is unattributed (a wire-only log): nothing to walk.
+		return cp
 	}
 	for n := range acts {
 		sortByEnd(acts[n])
@@ -204,8 +221,11 @@ func Analyze(evs []Event) *CriticalPath {
 		}
 		if viaMsg {
 			kind := SegTransit
-			if pick.Kind == SendLB {
+			switch pick.Kind {
+			case SendLB:
 				kind = SegLB
+			case Wire:
+				kind = SegWire
 			}
 			if pick.Xfer != 0 {
 				onPath[pick.Xfer] = true
@@ -253,6 +273,8 @@ func Analyze(evs []Event) *CriticalPath {
 			b.Transit += s.Dur()
 		case SegLB:
 			b.LB += s.Dur()
+		case SegWire:
+			b.Wire += s.Dur()
 		}
 	}
 

@@ -29,6 +29,7 @@ const (
 	SendLB
 	Control // convergence-detection or barrier traffic
 	Mark    // zero-duration annotation (e.g. "halt", "lb-reject")
+	Wire    // a cross-process transfer over the real network (dist backend)
 )
 
 // String returns a short human-readable name for the kind.
@@ -50,6 +51,8 @@ func (k Kind) String() string {
 		return "control"
 	case Mark:
 		return "mark"
+	case Wire:
+		return "wire"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -75,6 +78,7 @@ type Event struct {
 	HaloL  int    // left-halo iteration a Compute span consumed, -1 = initial values
 	HaloR  int    // right-halo iteration a Compute span consumed, -1 = initial values
 	Xfer   uint64 // load-balancing transfer id (LB events), 0 = n/a
+	Proc   int    // OS-process index in a federated trace (see Federate), 0 = single process
 }
 
 // Log is a concurrency-safe append-only collection of events.
@@ -138,6 +142,17 @@ func (l *Log) Add(ev Event) {
 	l.mu.Unlock()
 }
 
+// SetEvents replaces the log's contents with evs (copied), bypassing the
+// cap policy — the federation path uses it to install an already-merged
+// event stream into a caller-supplied log.
+func (l *Log) SetEvents(evs []Event) {
+	cp := make([]Event, len(evs))
+	copy(cp, evs)
+	l.mu.Lock()
+	l.events = cp
+	l.mu.Unlock()
+}
+
 // Events returns a copy of the recorded events sorted by start time
 // (ties broken by node, then kind).
 func (l *Log) Events() []Event {
@@ -196,27 +211,59 @@ func (l *Log) Span() (t0, t1 float64) {
 }
 
 // WriteCSV writes the events as CSV rows:
-// t0,t1,node,to,kind,iter,note,msg,halo_l,halo_r,xfer.
+// t0,t1,node,to,kind,iter,note,msg,halo_l,halo_r,xfer,proc.
 // The first seven columns are the stable pre-causal schema; the causal
-// columns are appended so existing tooling keeps working by position.
+// columns and the process index are appended so existing tooling keeps
+// working by position.
 func (l *Log) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "t0,t1,node,to,kind,iter,note,msg,halo_l,halo_r,xfer"); err != nil {
+	// One row per event adds up to tens of thousands of small writes on a
+	// long run; buffer locally so an unbuffered sink (an os.File) costs one
+	// syscall per block instead of one per row.
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "t0,t1,node,to,kind,iter,note,msg,halo_l,halo_r,xfer,proc"); err != nil {
 		return err
 	}
+	// Hand-rolled rows (equivalent to
+	// "%.9f,%.9f,%d,%d,%s,%d,%s,%d,%d,%d,%d,%d\n"): the export runs once
+	// per traced process per run, over up to hundreds of thousands of
+	// events, and fmt's reflection dominates its cost.
+	row := make([]byte, 0, 128)
 	for _, ev := range l.Events() {
 		note := strings.ReplaceAll(ev.Note, ",", ";")
-		if _, err := fmt.Fprintf(w, "%.9f,%.9f,%d,%d,%s,%d,%s,%d,%d,%d,%d\n",
-			ev.T0, ev.T1, ev.Node, ev.To, ev.Kind, ev.Iter, note,
-			ev.Seq, ev.HaloL, ev.HaloR, ev.Xfer); err != nil {
+		row = strconv.AppendFloat(row[:0], ev.T0, 'f', 9, 64)
+		row = append(row, ',')
+		row = strconv.AppendFloat(row, ev.T1, 'f', 9, 64)
+		row = append(row, ',')
+		row = strconv.AppendInt(row, int64(ev.Node), 10)
+		row = append(row, ',')
+		row = strconv.AppendInt(row, int64(ev.To), 10)
+		row = append(row, ',')
+		row = append(row, ev.Kind.String()...)
+		row = append(row, ',')
+		row = strconv.AppendInt(row, int64(ev.Iter), 10)
+		row = append(row, ',')
+		row = append(row, note...)
+		row = append(row, ',')
+		row = strconv.AppendUint(row, ev.Seq, 10)
+		row = append(row, ',')
+		row = strconv.AppendInt(row, int64(ev.HaloL), 10)
+		row = append(row, ',')
+		row = strconv.AppendInt(row, int64(ev.HaloR), 10)
+		row = append(row, ',')
+		row = strconv.AppendUint(row, ev.Xfer, 10)
+		row = append(row, ',')
+		row = strconv.AppendInt(row, int64(ev.Proc), 10)
+		row = append(row, '\n')
+		if _, err := bw.Write(row); err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
 // kindFromString inverts Kind.String.
 func kindFromString(s string) (Kind, error) {
-	for k := Compute; k <= Mark; k++ {
+	for k := Compute; k <= Wire; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -224,9 +271,10 @@ func kindFromString(s string) (Kind, error) {
 	return 0, fmt.Errorf("trace: unknown kind %q", s)
 }
 
-// ReadCSV parses a log previously written by WriteCSV. It accepts both the
-// current 11-column schema and the pre-causal 7-column one (causal fields
-// default to zero), so old exports stay loadable.
+// ReadCSV parses a log previously written by WriteCSV. It accepts the
+// current 12-column schema, the pre-federation 11-column one and the
+// pre-causal 7-column one (absent fields default to zero), so old exports
+// stay loadable.
 func ReadCSV(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -242,8 +290,8 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 			continue // header
 		}
 		f := strings.Split(text, ",")
-		if len(f) != 7 && len(f) != 11 {
-			return nil, fmt.Errorf("trace: line %d: %d columns, want 7 or 11", line, len(f))
+		if len(f) != 7 && len(f) != 11 && len(f) != 12 {
+			return nil, fmt.Errorf("trace: line %d: %d columns, want 7, 11 or 12", line, len(f))
 		}
 		var ev Event
 		var err error
@@ -266,7 +314,7 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 			return nil, fmt.Errorf("trace: line %d iter: %v", line, err)
 		}
 		ev.Note = f[6]
-		if len(f) == 11 {
+		if len(f) >= 11 {
 			if ev.Seq, err = strconv.ParseUint(f[7], 10, 64); err != nil {
 				return nil, fmt.Errorf("trace: line %d msg: %v", line, err)
 			}
@@ -278,6 +326,11 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 			}
 			if ev.Xfer, err = strconv.ParseUint(f[10], 10, 64); err != nil {
 				return nil, fmt.Errorf("trace: line %d xfer: %v", line, err)
+			}
+		}
+		if len(f) == 12 {
+			if ev.Proc, err = strconv.Atoi(f[11]); err != nil {
+				return nil, fmt.Errorf("trace: line %d proc: %v", line, err)
 			}
 		}
 		out = append(out, ev)
